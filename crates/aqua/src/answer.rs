@@ -1,0 +1,318 @@
+//! Approximate answers with per-group error bounds (Figures 2 and 4).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use congress::bounds::{
+    avg_bound_hoeffding, stratified_avg_bound, stratified_sum_bound, ErrorBound, Moments,
+};
+use engine::{AggregateFn, GroupByQuery, GroupIndex, QueryResult, StratifiedInput};
+use relation::GroupKey;
+
+use crate::error::Result;
+
+/// Error bounds for one output group, one entry per aggregate in the
+/// query's SELECT list (`None` for MIN/MAX, which have no distribution-free
+/// bound from a sample).
+#[derive(Debug, Clone)]
+pub struct GroupBounds {
+    /// The group key.
+    pub key: GroupKey,
+    /// Per-aggregate bounds, aligned with the query's aggregates.
+    pub bounds: Vec<Option<ErrorBound>>,
+}
+
+/// An approximate answer: scaled estimates plus bounds at the configured
+/// confidence — the shape of the paper's Figure 4 output.
+#[derive(Debug, Clone)]
+pub struct ApproximateAnswer {
+    /// Scaled estimates per group.
+    pub result: QueryResult,
+    /// Per-group error bounds (same key order as `result`).
+    pub bounds: Vec<GroupBounds>,
+    /// Confidence level the bounds hold at.
+    pub confidence: f64,
+}
+
+impl ApproximateAnswer {
+    /// Bound lookup by group key.
+    pub fn bounds_for(&self, key: &GroupKey) -> Option<&GroupBounds> {
+        self.bounds.iter().find(|b| &b.key == key)
+    }
+}
+
+impl fmt::Display for ApproximateAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "group | {} (±bound @ {:.0}% confidence)",
+            self.result.aggregate_names.join(" | "),
+            self.confidence * 100.0
+        )?;
+        for (i, (key, vals)) in self.result.iter().enumerate() {
+            write!(f, "{key}")?;
+            for (j, v) in vals.iter().enumerate() {
+                let b = self.bounds.get(i).and_then(|gb| gb.bounds[j]);
+                match b {
+                    Some(b) => write!(f, " | {:.4e} ± {:.1e}", v, b.half_width)?,
+                    None => write!(f, " | {v:.4e}")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Compute per-group, per-aggregate error bounds for `query` over a
+/// stratified sample.
+///
+/// For each output group `h` and contributing stratum `i`, the bound
+/// machinery needs the moments of the aggregate input over the sampled
+/// tuples and the stratum's (estimated) population within `h`:
+/// `N_i = SF_i × (sampled tuples of stratum i in h)`. SUM and COUNT use
+/// the stratified-sum Chebyshev bound over *predicate-indicator* values
+/// (so tuples failing the WHERE clause contribute zeros, exactly like the
+/// rewritten SQL); AVG uses the stratified mean bound over qualifying
+/// tuples, falling back to Hoeffding when only one stratum contributes.
+pub fn compute_bounds(
+    input: &StratifiedInput,
+    query: &GroupByQuery,
+    result: &QueryResult,
+    confidence: f64,
+) -> Result<Vec<GroupBounds>> {
+    let rel = &input.rows;
+    let mask = query.predicate.eval(rel);
+    // Group rows by the *query's* grouping (not the strata grouping).
+    let index = GroupIndex::build(rel, &query.grouping);
+
+    let exprs: Vec<Option<Vec<f64>>> = query
+        .aggregates
+        .iter()
+        .map(|a| a.expr.as_ref().map(|e| e.eval(rel)).transpose())
+        .collect::<std::result::Result<_, _>>()
+        .map_err(crate::AquaError::from)?;
+
+    // Per (group, stratum): moments of v·sel over all sampled tuples
+    // (sum/count bound) and of v over selected tuples (avg bound), plus
+    // tuple counts.
+    type Cell = (Vec<Moments>, Vec<Moments>, u64, u64); // (all, sel, n_all, n_sel)
+    let aggs = query.aggregates.len();
+    let mut cells: HashMap<(u32, u32), Cell> = HashMap::new();
+    for row in 0..rel.row_count() {
+        let g = index.group_of(row);
+        if g == u32::MAX {
+            continue;
+        }
+        let s = input.stratum_of_row[row];
+        let cell = cells
+            .entry((g, s))
+            .or_insert_with(|| (vec![Moments::new(); aggs], vec![Moments::new(); aggs], 0, 0));
+        cell.2 += 1;
+        let sel = mask[row];
+        if sel {
+            cell.3 += 1;
+        }
+        for (ai, e) in exprs.iter().enumerate() {
+            let v = e.as_ref().map_or(1.0, |vals| vals[row]);
+            cell.0[ai].push(if sel { v } else { 0.0 });
+            if sel {
+                cell.1[ai].push(v);
+            }
+        }
+    }
+
+    // Assemble per result group.
+    let mut per_group: HashMap<u32, Vec<(u32, Cell)>> = HashMap::new();
+    for ((g, s), cell) in cells {
+        per_group.entry(g).or_default().push((s, cell));
+    }
+    // Map result keys back to index group ids.
+    let mut key_to_gid: HashMap<&GroupKey, u32> = HashMap::new();
+    for gid in 0..index.group_count() as u32 {
+        key_to_gid.insert(index.key(gid), gid);
+    }
+
+    let mut out = Vec::with_capacity(result.group_count());
+    for (key, _) in result.iter() {
+        let Some(&gid) = key_to_gid.get(key) else {
+            out.push(GroupBounds {
+                key: key.clone(),
+                bounds: vec![None; aggs],
+            });
+            continue;
+        };
+        let strata = per_group.get(&gid).map_or(&[][..], |v| &v[..]);
+        let mut bounds = Vec::with_capacity(aggs);
+        for (ai, spec) in query.aggregates.iter().enumerate() {
+            let bound = match spec.func {
+                AggregateFn::Sum | AggregateFn::Count => {
+                    let parts: Vec<(Moments, f64, u64)> = strata
+                        .iter()
+                        .map(|(s, cell)| {
+                            let sf = input.scale_factors[*s as usize];
+                            let pop = (sf * cell.2 as f64).round() as u64;
+                            (cell.0[ai], sf, pop.max(cell.2))
+                        })
+                        .collect();
+                    Some(stratified_sum_bound(&parts, confidence))
+                }
+                AggregateFn::Avg => {
+                    let parts: Vec<(Moments, f64, u64)> = strata
+                        .iter()
+                        .filter(|(_, cell)| cell.3 > 0)
+                        .map(|(s, cell)| {
+                            let sf = input.scale_factors[*s as usize];
+                            let pop = (sf * cell.3 as f64).round() as u64;
+                            (cell.1[ai], sf, pop.max(cell.3))
+                        })
+                        .collect();
+                    if parts.len() == 1 {
+                        Some(avg_bound_hoeffding(&parts[0].0, confidence))
+                    } else {
+                        Some(stratified_avg_bound(&parts, confidence))
+                    }
+                }
+                AggregateFn::Min | AggregateFn::Max => None,
+            };
+            bounds.push(bound);
+        }
+        out.push(GroupBounds {
+            key: key.clone(),
+            bounds,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::rewrite::{Integrated, SamplePlan};
+    use engine::AggregateSpec;
+    use relation::{ColumnId, DataType, Expr, Predicate, RelationBuilder, Value};
+
+    /// Base of 100 rows in 2 groups (80/20); stratified sample of 10+10.
+    fn fixture() -> (StratifiedInput, GroupByQuery) {
+        let mut b = RelationBuilder::new()
+            .column("g", DataType::Str)
+            .column("v", DataType::Float);
+        for i in 0..100i64 {
+            let g = if i < 80 { "big" } else { "small" };
+            b.push_row(&[Value::str(g), Value::from((i % 13) as f64)])
+                .unwrap();
+        }
+        let base = b.finish();
+        let rows: Vec<usize> = (0..80).step_by(8).chain((80..100).step_by(2)).collect();
+        let sampled = base.gather(&rows);
+        let input = StratifiedInput {
+            rows: sampled,
+            stratum_of_row: (0..20).map(|i| u32::from(i >= 10)).collect(),
+            scale_factors: vec![8.0, 2.0],
+            strata_keys: vec![
+                GroupKey::new(vec![Value::str("big")]),
+                GroupKey::new(vec![Value::str("small")]),
+            ],
+            grouping_columns: vec![ColumnId(0)],
+        };
+        input.validate().unwrap();
+        let q = GroupByQuery::new(
+            vec![ColumnId(0)],
+            vec![
+                AggregateSpec::sum(Expr::col(ColumnId(1)), "s"),
+                AggregateSpec::count("c"),
+                AggregateSpec::avg(Expr::col(ColumnId(1)), "a"),
+            ],
+        );
+        (input, q)
+    }
+
+    #[test]
+    fn bounds_cover_every_group_and_aggregate() {
+        let (input, q) = fixture();
+        let plan = Integrated::build(&input).unwrap();
+        let result = plan.execute(&q).unwrap();
+        let bounds = compute_bounds(&input, &q, &result, 0.9).unwrap();
+        assert_eq!(bounds.len(), result.group_count());
+        for gb in &bounds {
+            assert_eq!(gb.bounds.len(), 3);
+            for b in gb.bounds.iter().flatten() {
+                assert!(b.half_width.is_finite());
+                assert!(b.half_width >= 0.0);
+                assert_eq!(b.confidence, 0.9);
+            }
+        }
+    }
+
+    #[test]
+    fn count_bound_zero_when_stratum_fully_selected_uniformly() {
+        // COUNT over a fully-sampled stratum with no predicate: indicator
+        // variance is zero → bound is exactly 0.
+        let (mut input, _) = fixture();
+        input.scale_factors = vec![1.0, 1.0]; // pretend fully sampled
+        let q = GroupByQuery::new(vec![ColumnId(0)], vec![AggregateSpec::count("c")]);
+        let plan = Integrated::build(&input).unwrap();
+        let result = plan.execute(&q).unwrap();
+        let bounds = compute_bounds(&input, &q, &result, 0.9).unwrap();
+        for gb in &bounds {
+            assert_eq!(gb.bounds[0].unwrap().half_width, 0.0);
+        }
+    }
+
+    #[test]
+    fn min_max_have_no_bounds() {
+        let (input, _) = fixture();
+        let q = GroupByQuery::new(
+            vec![ColumnId(0)],
+            vec![AggregateSpec::min(Expr::col(ColumnId(1)), "mn")],
+        );
+        let plan = Integrated::build(&input).unwrap();
+        let result = plan.execute(&q).unwrap();
+        let bounds = compute_bounds(&input, &q, &result, 0.9).unwrap();
+        assert!(bounds.iter().all(|gb| gb.bounds[0].is_none()));
+    }
+
+    #[test]
+    fn predicate_widens_sum_bound_via_indicators() {
+        let (input, _) = fixture();
+        let plan = Integrated::build(&input).unwrap();
+        let q_all = GroupByQuery::new(vec![ColumnId(0)], vec![AggregateSpec::count("c")]);
+        // A ~50% predicate creates indicator variance where none existed.
+        let q_half = q_all
+            .clone()
+            .with_predicate(Predicate::ge(ColumnId(1), 6.0));
+        let r_all = plan.execute(&q_all).unwrap();
+        let r_half = plan.execute(&q_half).unwrap();
+        let b_all = compute_bounds(&input, &q_all, &r_all, 0.9).unwrap();
+        let b_half = compute_bounds(&input, &q_half, &r_half, 0.9).unwrap();
+        let key = GroupKey::new(vec![Value::str("big")]);
+        let w_all = b_all.iter().find(|g| g.key == key).unwrap().bounds[0]
+            .unwrap()
+            .half_width;
+        let w_half = b_half.iter().find(|g| g.key == key).unwrap().bounds[0]
+            .unwrap()
+            .half_width;
+        assert!(
+            w_half > w_all,
+            "predicate indicator variance: {w_half} vs {w_all}"
+        );
+    }
+
+    #[test]
+    fn display_renders_bounds() {
+        let (input, q) = fixture();
+        let plan = Integrated::build(&input).unwrap();
+        let result = plan.execute(&q).unwrap();
+        let bounds = compute_bounds(&input, &q, &result, 0.9).unwrap();
+        let ans = ApproximateAnswer {
+            result,
+            bounds,
+            confidence: 0.9,
+        };
+        let s = ans.to_string();
+        assert!(s.contains('±') && s.contains("90%"));
+        assert!(ans
+            .bounds_for(&GroupKey::new(vec![Value::str("big")]))
+            .is_some());
+    }
+}

@@ -1,0 +1,153 @@
+//! Middleware configuration: sampling strategy, rewrite strategy, space,
+//! confidence.
+
+use serde::{Deserialize, Serialize};
+
+/// Which §4 allocation strategy backs the synopsis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingStrategy {
+    /// Uniform sample of the relation (§4.3).
+    House,
+    /// Equal space per finest group (§4.4).
+    Senate,
+    /// max(House, Senate) scaled (§4.5).
+    BasicCongress,
+    /// Full lattice maximum (§4.6) — the paper's recommendation.
+    Congress,
+}
+
+impl SamplingStrategy {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplingStrategy::House => "House",
+            SamplingStrategy::Senate => "Senate",
+            SamplingStrategy::BasicCongress => "Basic Congress",
+            SamplingStrategy::Congress => "Congress",
+        }
+    }
+
+    /// All four, in the paper's presentation order.
+    pub fn all() -> [SamplingStrategy; 4] {
+        [
+            SamplingStrategy::House,
+            SamplingStrategy::Senate,
+            SamplingStrategy::BasicCongress,
+            SamplingStrategy::Congress,
+        ]
+    }
+}
+
+/// Which §5 physical rewrite executes queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RewriteChoice {
+    /// ScaleFactor column per tuple (Fig 8).
+    Integrated,
+    /// Nested plan, one multiply per (group × SF) (Fig 11).
+    NestedIntegrated,
+    /// AuxRel join on grouping columns (Fig 9).
+    Normalized,
+    /// AuxRel join on integer GID (Fig 10).
+    KeyNormalized,
+}
+
+impl RewriteChoice {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            RewriteChoice::Integrated => "Integrated",
+            RewriteChoice::NestedIntegrated => "Nested-integrated",
+            RewriteChoice::Normalized => "Normalized",
+            RewriteChoice::KeyNormalized => "Key-normalized",
+        }
+    }
+
+    /// All four, in the paper's presentation order.
+    pub fn all() -> [RewriteChoice; 4] {
+        [
+            RewriteChoice::Integrated,
+            RewriteChoice::NestedIntegrated,
+            RewriteChoice::Normalized,
+            RewriteChoice::KeyNormalized,
+        ]
+    }
+}
+
+/// Full middleware configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AquaConfig {
+    /// Synopsis space budget, in tuples (the administrator input of §2).
+    pub space: usize,
+    /// Allocation strategy.
+    pub strategy: SamplingStrategy,
+    /// Physical rewrite strategy.
+    pub rewrite: RewriteChoice,
+    /// Confidence level for error bounds (Aqua's default demo uses 90%).
+    pub confidence: f64,
+    /// RNG seed for sampling decisions.
+    pub seed: u64,
+}
+
+impl Default for AquaConfig {
+    fn default() -> Self {
+        AquaConfig {
+            space: 10_000,
+            strategy: SamplingStrategy::Congress,
+            rewrite: RewriteChoice::NestedIntegrated,
+            confidence: 0.9,
+            seed: 0x4151_5541, // "AQUA"
+        }
+    }
+}
+
+impl AquaConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.space == 0 {
+            return Err(crate::AquaError::InvalidConfig(
+                "space budget must be positive".into(),
+            ));
+        }
+        if self.confidence.is_nan() || self.confidence <= 0.0 || self.confidence >= 1.0 {
+            return Err(crate::AquaError::InvalidConfig(format!(
+                "confidence must be in (0, 1), got {}",
+                self.confidence
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(AquaConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let c = AquaConfig {
+            space: 0,
+            ..AquaConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let mut c = AquaConfig {
+            confidence: 1.0,
+            ..AquaConfig::default()
+        };
+        assert!(c.validate().is_err());
+        c.confidence = -0.1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(SamplingStrategy::BasicCongress.name(), "Basic Congress");
+        assert_eq!(RewriteChoice::KeyNormalized.name(), "Key-normalized");
+        assert_eq!(SamplingStrategy::all().len(), 4);
+        assert_eq!(RewriteChoice::all().len(), 4);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for the Aqua middleware.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, AquaError>;
+
+/// Errors surfaced by the middleware.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AquaError {
+    /// Storage/schema error.
+    Relation(relation::RelationError),
+    /// Query engine error.
+    Engine(engine::EngineError),
+    /// Sampling layer error.
+    Congress(congress::CongressError),
+    /// Configuration rejected.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for AquaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AquaError::Relation(e) => write!(f, "relation error: {e}"),
+            AquaError::Engine(e) => write!(f, "engine error: {e}"),
+            AquaError::Congress(e) => write!(f, "sampling error: {e}"),
+            AquaError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AquaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AquaError::Relation(e) => Some(e),
+            AquaError::Engine(e) => Some(e),
+            AquaError::Congress(e) => Some(e),
+            AquaError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<relation::RelationError> for AquaError {
+    fn from(e: relation::RelationError) -> Self {
+        AquaError::Relation(e)
+    }
+}
+impl From<engine::EngineError> for AquaError {
+    fn from(e: engine::EngineError) -> Self {
+        AquaError::Engine(e)
+    }
+}
+impl From<congress::CongressError> for AquaError {
+    fn from(e: congress::CongressError) -> Self {
+        AquaError::Congress(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_chain_sources() {
+        let e: AquaError = engine::EngineError::NoAggregates.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("engine"));
+        let e: AquaError = congress::CongressError::EmptyRelation.into();
+        assert!(e.to_string().contains("sampling"));
+        let e = AquaError::InvalidConfig("space".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

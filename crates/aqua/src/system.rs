@@ -1,0 +1,334 @@
+//! The [`Aqua`] middleware: stored table + synopsis + query answering.
+
+use parking_lot::RwLock;
+
+use engine::{execute_exact, GroupByQuery, QueryResult};
+use relation::{ColumnId, Relation, Value};
+
+use crate::answer::{compute_bounds, ApproximateAnswer};
+use crate::config::AquaConfig;
+use crate::error::{AquaError, Result};
+use crate::synopsis::Synopsis;
+
+/// The approximate query answering system of §2, over a single stored
+/// relation (the paper reduces multi-table warehouses to this case via
+/// join synopses).
+///
+/// Thread-safe: queries take a read lock; insertions and refreshes take a
+/// write lock. The synopsis refreshes lazily — after a batch of warehouse
+/// insertions, the next query pays one plan rebuild.
+pub struct Aqua {
+    inner: RwLock<Inner>,
+}
+
+struct Inner {
+    /// The stored warehouse table, grown by [`Aqua::insert_batch`].
+    table: Relation,
+    grouping: Vec<ColumnId>,
+    synopsis: Synopsis,
+}
+
+impl Aqua {
+    /// Build the system over `table`, declaring `grouping` as the
+    /// dimensional attributes `G`, and constructing the synopsis in one
+    /// pass per `config`.
+    pub fn build(table: Relation, grouping: Vec<ColumnId>, config: AquaConfig) -> Result<Aqua> {
+        config.validate()?;
+        for &c in &grouping {
+            table.schema().field(c)?;
+        }
+        if table.is_empty() {
+            return Err(AquaError::InvalidConfig(
+                "cannot build a synopsis over an empty relation".into(),
+            ));
+        }
+        let mut synopsis = Synopsis::new(config, grouping.clone())?;
+        synopsis.ingest(&table, 0)?;
+        synopsis.refresh(&table)?;
+        Ok(Aqua {
+            inner: RwLock::new(Inner {
+                table,
+                grouping,
+                synopsis,
+            }),
+        })
+    }
+
+    /// The declared grouping columns.
+    pub fn grouping_columns(&self) -> Vec<ColumnId> {
+        self.inner.read().grouping.clone()
+    }
+
+    /// Rows currently stored in the warehouse table.
+    pub fn table_rows(&self) -> usize {
+        self.inner.read().table.row_count()
+    }
+
+    /// Sampled tuples in the active synopsis.
+    pub fn synopsis_rows(&self) -> usize {
+        self.inner.read().synopsis.sample_rows()
+    }
+
+    /// Answer a query approximately from the synopsis, with per-group
+    /// error bounds — the full Figure 2 → Figure 4 pipeline.
+    pub fn answer(&self, query: &GroupByQuery) -> Result<ApproximateAnswer> {
+        self.refresh_if_stale()?;
+        let inner = self.inner.read();
+        let plan = inner
+            .synopsis
+            .plan()
+            .expect("refresh_if_stale materialized the plan");
+        let result = plan.execute(query)?;
+        let input = inner
+            .synopsis
+            .input()
+            .expect("refresh_if_stale materialized the input");
+        let confidence = inner.synopsis.config().confidence;
+        let bounds = compute_bounds(input, query, &result, confidence)?;
+        Ok(ApproximateAnswer {
+            result,
+            bounds,
+            confidence,
+        })
+    }
+
+    /// Execute the query exactly against the stored table (what the
+    /// warehouse itself would return, used for accuracy comparisons).
+    pub fn exact(&self, query: &GroupByQuery) -> Result<QueryResult> {
+        let inner = self.inner.read();
+        Ok(execute_exact(&inner.table, query)?)
+    }
+
+    /// Insert new tuples into the warehouse. The synopsis maintainer sees
+    /// each tuple once; the stored table grows; the physical plan is
+    /// rebuilt lazily on the next query.
+    pub fn insert_batch(&self, rows: &[Vec<Value>]) -> Result<()> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.write();
+        let mut builder = relation::RelationBuilder::from_schema(inner.table.schema());
+        for row in rows {
+            builder.push_row(row)?;
+        }
+        let batch = builder.finish();
+        let first = inner.table.row_count();
+        inner.synopsis.ingest(&batch, first)?;
+        inner.table = Relation::concat(&[&inner.table, &batch])?;
+        Ok(())
+    }
+
+    /// The Figure 2 pipeline in one call: parse SQL against the stored
+    /// table's schema, answer it approximately, and return the answer
+    /// along with the rewritten-SQL text the configured strategy would
+    /// send to a back-end DBMS (Figures 8–11).
+    pub fn answer_sql(&self, sql: &str) -> Result<(ApproximateAnswer, String)> {
+        let (query, rewritten) = {
+            let inner = self.inner.read();
+            let query = engine::sql::parse(inner.table.schema(), sql)?;
+            let kind = match inner.synopsis.config().rewrite {
+                crate::RewriteChoice::Integrated => engine::sql::render::RewriteKind::Integrated,
+                crate::RewriteChoice::NestedIntegrated => {
+                    engine::sql::render::RewriteKind::NestedIntegrated
+                }
+                crate::RewriteChoice::Normalized => engine::sql::render::RewriteKind::Normalized,
+                crate::RewriteChoice::KeyNormalized => {
+                    engine::sql::render::RewriteKind::KeyNormalized
+                }
+            };
+            let rewritten = engine::sql::render_rewritten(
+                &query,
+                inner.table.schema(),
+                kind,
+                "samp_rel",
+                "aux_rel",
+            )?;
+            (query, rewritten)
+        };
+        Ok((self.answer(&query)?, rewritten))
+    }
+
+    /// Parse SQL against the stored table's schema and execute it exactly
+    /// — the warehouse-side ground truth for [`Self::answer_sql`].
+    pub fn exact_sql(&self, sql: &str) -> Result<QueryResult> {
+        let inner = self.inner.read();
+        let query = engine::sql::parse(inner.table.schema(), sql)?;
+        Ok(execute_exact(&inner.table, &query)?)
+    }
+
+    /// Export the synopsis as a compact binary snapshot (durable storage,
+    /// shipping to another node, etc.).
+    pub fn export_synopsis(&self) -> Result<bytes::Bytes> {
+        let mut inner = self.inner.write();
+        let Inner {
+            table, synopsis, ..
+        } = &mut *inner;
+        synopsis.export(table)
+    }
+
+    /// Rebuild a system from a stored table plus an exported snapshot.
+    /// The restored synopsis answers queries immediately; subsequent
+    /// insertions start a fresh maintainer (snapshots carry the sample,
+    /// not the sampler state).
+    pub fn build_from_snapshot(
+        table: Relation,
+        config: AquaConfig,
+        snapshot: bytes::Bytes,
+    ) -> Result<Aqua> {
+        let synopsis = Synopsis::import(config, &table, snapshot)?;
+        let grouping = synopsis.grouping().to_vec();
+        Ok(Aqua {
+            inner: RwLock::new(Inner {
+                table,
+                grouping,
+                synopsis,
+            }),
+        })
+    }
+
+    /// Force a synopsis refresh now (normally lazy).
+    pub fn refresh(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        let Inner {
+            table, synopsis, ..
+        } = &mut *inner;
+        synopsis.refresh(table)
+    }
+
+    fn refresh_if_stale(&self) -> Result<()> {
+        if self.inner.read().synopsis.is_stale() {
+            self.refresh()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RewriteChoice, SamplingStrategy};
+    use engine::AggregateSpec;
+    use relation::{DataType, Expr, GroupKey, RelationBuilder};
+
+    fn table(n: i64) -> Relation {
+        let mut b = RelationBuilder::new()
+            .column("g", DataType::Str)
+            .column("v", DataType::Float);
+        for i in 0..n {
+            let g = match i % 10 {
+                0 => "small",
+                _ => "large",
+            };
+            b.push_row(&[Value::str(g), Value::from(10.0 + (i % 7) as f64)])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    fn config() -> AquaConfig {
+        AquaConfig {
+            space: 100,
+            strategy: SamplingStrategy::Congress,
+            rewrite: RewriteChoice::NestedIntegrated,
+            confidence: 0.9,
+            seed: 4,
+        }
+    }
+
+    fn count_query() -> GroupByQuery {
+        GroupByQuery::new(vec![ColumnId(0)], vec![AggregateSpec::count("c")])
+    }
+
+    #[test]
+    fn build_and_answer() {
+        let aqua = Aqua::build(table(2000), vec![ColumnId(0)], config()).unwrap();
+        assert_eq!(aqua.table_rows(), 2000);
+        assert!(aqua.synopsis_rows() > 0);
+        let ans = aqua.answer(&count_query()).unwrap();
+        assert_eq!(ans.result.group_count(), 2);
+        // COUNT estimates should be near 200 / 1800.
+        let small = ans
+            .result
+            .get(&GroupKey::new(vec![Value::str("small")]))
+            .unwrap()[0];
+        assert!((small - 200.0).abs() < 80.0, "small count {small}");
+        assert_eq!(ans.bounds.len(), 2);
+    }
+
+    #[test]
+    fn answers_track_exact_within_bounds_often() {
+        let aqua = Aqua::build(table(5000), vec![ColumnId(0)], config()).unwrap();
+        let q = GroupByQuery::new(
+            vec![ColumnId(0)],
+            vec![AggregateSpec::avg(Expr::col(ColumnId(1)), "a")],
+        );
+        let approx = aqua.answer(&q).unwrap();
+        let exact = aqua.exact(&q).unwrap();
+        for (key, vals) in exact.iter() {
+            let est = approx.result.get(key).unwrap()[0];
+            // AVG of values in [10, 16]: estimate must land in-range and
+            // close (bounded variables, decent sample).
+            assert!((est - vals[0]).abs() < 2.0, "{key}: {est} vs {}", vals[0]);
+        }
+    }
+
+    #[test]
+    fn insert_batch_maintains_synopsis_lazily() {
+        let aqua = Aqua::build(table(1000), vec![ColumnId(0)], config()).unwrap();
+        let before = aqua.table_rows();
+        // Insert a brand-new group.
+        let rows: Vec<Vec<Value>> = (0..50)
+            .map(|i| vec![Value::str("new_group"), Value::from(i as f64)])
+            .collect();
+        aqua.insert_batch(&rows).unwrap();
+        assert_eq!(aqua.table_rows(), before + 50);
+        // Next answer reflects the new group without an explicit refresh.
+        let ans = aqua.answer(&count_query()).unwrap();
+        let ng = ans
+            .result
+            .get(&GroupKey::new(vec![Value::str("new_group")]));
+        assert!(ng.is_some(), "new group must appear in the answer");
+    }
+
+    #[test]
+    fn empty_insert_is_noop() {
+        let aqua = Aqua::build(table(100), vec![ColumnId(0)], config()).unwrap();
+        aqua.insert_batch(&[]).unwrap();
+        assert_eq!(aqua.table_rows(), 100);
+    }
+
+    #[test]
+    fn build_rejects_bad_inputs() {
+        assert!(Aqua::build(table(0).gather(&[]), vec![ColumnId(0)], config()).is_err());
+        assert!(Aqua::build(table(10), vec![ColumnId(9)], config()).is_err());
+        let mut c = config();
+        c.space = 0;
+        assert!(Aqua::build(table(10), vec![ColumnId(0)], c).is_err());
+    }
+
+    #[test]
+    fn answer_sql_runs_figure2_pipeline() {
+        let aqua = Aqua::build(table(3000), vec![ColumnId(0)], config()).unwrap();
+        let (answer, rewritten) = aqua
+            .answer_sql("SELECT g, COUNT(*) AS c FROM t GROUP BY g HAVING c > 100")
+            .unwrap();
+        assert_eq!(answer.result.group_count(), 2); // both groups exceed 100
+                                                    // Rewritten SQL reflects the configured Nested-integrated plan.
+        assert!(rewritten.contains("samp_rel"), "{rewritten}");
+        assert!(rewritten.contains("SF"), "{rewritten}");
+        // Bad SQL propagates a parse error.
+        assert!(aqua.answer_sql("SELEKT oops").is_err());
+        assert!(aqua
+            .answer_sql("SELECT COUNT(*) FROM t WHERE nope = 1")
+            .is_err());
+    }
+
+    #[test]
+    fn exact_matches_engine() {
+        let t = table(500);
+        let aqua = Aqua::build(t.clone(), vec![ColumnId(0)], config()).unwrap();
+        let q = count_query();
+        let direct = execute_exact(&t, &q).unwrap();
+        assert_eq!(aqua.exact(&q).unwrap(), direct);
+    }
+}

@@ -1,0 +1,262 @@
+//! A multi-relation warehouse front end (the paper's Figure 1: Aqua keeps
+//! a *set* of synopses — base-table samples and join synopses — inside the
+//! DBMS, under one administrator-supplied space budget).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use engine::join::foreign_key_join;
+use engine::{GroupByQuery, QueryResult};
+use relation::{ColumnId, Relation, Value};
+
+use crate::answer::ApproximateAnswer;
+use crate::config::AquaConfig;
+use crate::error::{AquaError, Result};
+use crate::system::Aqua;
+
+/// A named collection of approximate-query-answering systems, one per
+/// (base or pre-joined) relation.
+#[derive(Default)]
+pub struct Warehouse {
+    relations: RwLock<HashMap<String, Arc<Aqua>>>,
+}
+
+impl Warehouse {
+    /// Empty warehouse.
+    pub fn new() -> Warehouse {
+        Warehouse::default()
+    }
+
+    /// Register a base relation with its dimensional columns and synopsis
+    /// configuration. Errors if the name is taken.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        table: Relation,
+        grouping: Vec<ColumnId>,
+        config: AquaConfig,
+    ) -> Result<()> {
+        let name = name.into();
+        let system = Aqua::build(table, grouping, config)?;
+        let mut map = self.relations.write();
+        if map.contains_key(&name) {
+            return Err(AquaError::InvalidConfig(format!(
+                "relation `{name}` is already registered"
+            )));
+        }
+        map.insert(name, Arc::new(system));
+        Ok(())
+    }
+
+    /// Register a *join synopsis* (§2): materialize the foreign-key join
+    /// `fact ⋈ dim` and build a congressional sample over the result, so
+    /// multi-table group-by queries become single-relation queries.
+    #[allow(clippy::too_many_arguments)]
+    pub fn register_join_synopsis(
+        &self,
+        name: impl Into<String>,
+        fact: &Relation,
+        fk: ColumnId,
+        dim: &Relation,
+        pk: ColumnId,
+        dim_prefix: &str,
+        grouping_names: &[&str],
+        config: AquaConfig,
+    ) -> Result<()> {
+        let joined = foreign_key_join(fact, fk, dim, pk, dim_prefix)?;
+        let grouping = joined.schema().column_ids(grouping_names)?;
+        self.register(name, joined, grouping, config)
+    }
+
+    /// The system serving `name`.
+    pub fn system(&self, name: &str) -> Result<Arc<Aqua>> {
+        self.relations
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| AquaError::InvalidConfig(format!("unknown relation `{name}`")))
+    }
+
+    /// Answer approximately against the named relation.
+    pub fn answer(&self, name: &str, query: &GroupByQuery) -> Result<ApproximateAnswer> {
+        self.system(name)?.answer(query)
+    }
+
+    /// Exact answer against the named relation's stored table.
+    pub fn exact(&self, name: &str, query: &GroupByQuery) -> Result<QueryResult> {
+        self.system(name)?.exact(query)
+    }
+
+    /// Insert tuples into the named relation (synopsis maintained
+    /// incrementally, as always).
+    pub fn insert(&self, name: &str, rows: &[Vec<Value>]) -> Result<()> {
+        self.system(name)?.insert_batch(rows)
+    }
+
+    /// Registered relation names, sorted.
+    pub fn relation_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.relations.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Total sampled tuples across every synopsis — what counts against
+    /// the administrator's space budget.
+    pub fn total_synopsis_rows(&self) -> usize {
+        self.relations
+            .read()
+            .values()
+            .map(|s| s.synopsis_rows())
+            .sum()
+    }
+
+    /// Split a total tuple budget across relations proportionally to their
+    /// row counts (a simple default for the administrator's single "space
+    /// for synopses" knob). Returns `(name, budget)` pairs for the given
+    /// table sizes.
+    pub fn divide_space(total: usize, sizes: &[(&str, usize)]) -> Vec<(String, usize)> {
+        let all: usize = sizes.iter().map(|(_, n)| n).sum();
+        if all == 0 {
+            return sizes.iter().map(|(n, _)| (n.to_string(), 0)).collect();
+        }
+        let mut out: Vec<(String, usize)> = sizes
+            .iter()
+            .map(|(name, n)| (name.to_string(), total * n / all))
+            .collect();
+        // Distribute rounding leftovers to the largest relations.
+        let mut assigned: usize = out.iter().map(|(_, b)| b).sum();
+        let mut order: Vec<usize> = (0..out.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(sizes[i].1));
+        let mut i = 0;
+        while assigned < total && !order.is_empty() {
+            out[order[i % order.len()]].1 += 1;
+            assigned += 1;
+            i += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SamplingStrategy;
+    use engine::AggregateSpec;
+    use relation::{DataType, Expr, RelationBuilder};
+
+    fn sales(n: i64) -> Relation {
+        let mut b = RelationBuilder::new()
+            .column("region", DataType::Str)
+            .column("amount", DataType::Float)
+            .column("cust_fk", DataType::Int);
+        for i in 0..n {
+            b.push_row(&[
+                Value::str(if i % 3 == 0 { "east" } else { "west" }),
+                Value::from((i % 90) as f64),
+                Value::Int(i % 10),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    fn customers() -> Relation {
+        let mut b = RelationBuilder::new()
+            .column("cust_id", DataType::Int)
+            .column("segment", DataType::Str);
+        for i in 0..10i64 {
+            b.push_row(&[
+                Value::Int(i),
+                Value::str(if i < 2 { "enterprise" } else { "retail" }),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    fn config() -> AquaConfig {
+        AquaConfig {
+            space: 200,
+            strategy: SamplingStrategy::Congress,
+            seed: 1,
+            ..AquaConfig::default()
+        }
+    }
+
+    #[test]
+    fn register_answer_and_insert() {
+        let w = Warehouse::new();
+        let t = sales(3000);
+        let grouping = t.schema().column_ids(&["region"]).unwrap();
+        w.register("sales", t, grouping, config()).unwrap();
+        assert_eq!(w.relation_names(), vec!["sales"]);
+
+        let q = GroupByQuery::new(vec![ColumnId(0)], vec![AggregateSpec::count("c")]);
+        let ans = w.answer("sales", &q).unwrap();
+        assert_eq!(ans.result.group_count(), 2);
+        w.insert(
+            "sales",
+            &[vec![Value::str("north"), Value::from(1.0), Value::Int(0)]],
+        )
+        .unwrap();
+        let ans = w.answer("sales", &q).unwrap();
+        assert_eq!(ans.result.group_count(), 3);
+        assert!(w.total_synopsis_rows() > 0);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_names_rejected() {
+        let w = Warehouse::new();
+        let t = sales(100);
+        let g = t.schema().column_ids(&["region"]).unwrap();
+        w.register("sales", t.clone(), g.clone(), config()).unwrap();
+        assert!(w.register("sales", t, g, config()).is_err());
+        assert!(w.system("nope").is_err());
+        let q = GroupByQuery::new(vec![], vec![AggregateSpec::count("c")]);
+        assert!(w.answer("nope", &q).is_err());
+    }
+
+    #[test]
+    fn join_synopsis_registration() {
+        let w = Warehouse::new();
+        let fact = sales(2000);
+        let dim = customers();
+        w.register_join_synopsis(
+            "sales_by_customer",
+            &fact,
+            fact.schema().column_id("cust_fk").unwrap(),
+            &dim,
+            dim.schema().column_id("cust_id").unwrap(),
+            "c_",
+            &["region", "c_segment"],
+            config(),
+        )
+        .unwrap();
+        // Cross-table grouping answered from the join synopsis.
+        let joined = w.system("sales_by_customer").unwrap();
+        let seg = ColumnId(4); // region, amount, cust_fk, c_cust_id, c_segment
+        let q = GroupByQuery::new(
+            vec![seg],
+            vec![AggregateSpec::sum(Expr::col(ColumnId(1)), "rev")],
+        );
+        let ans = joined.answer(&q).unwrap();
+        assert_eq!(ans.result.group_count(), 2); // enterprise / retail
+    }
+
+    #[test]
+    fn divide_space_proportional_and_exact() {
+        let parts =
+            Warehouse::divide_space(100, &[("big", 7_000), ("mid", 2_000), ("tiny", 1_000)]);
+        let total: usize = parts.iter().map(|(_, b)| b).sum();
+        assert_eq!(total, 100);
+        let get = |n: &str| parts.iter().find(|(m, _)| m == n).unwrap().1;
+        assert_eq!(get("big"), 70);
+        assert_eq!(get("mid"), 20);
+        assert_eq!(get("tiny"), 10);
+        // Degenerate: all-empty sizes.
+        let parts = Warehouse::divide_space(10, &[("a", 0)]);
+        assert_eq!(parts[0].1, 0);
+    }
+}

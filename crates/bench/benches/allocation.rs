@@ -1,0 +1,52 @@
+//! Criterion bench for the §4 allocation formulas themselves: cost of
+//! computing House/Senate/Basic/Congress targets as the number of finest
+//! groups grows (Congress is Θ(2^|G|·groups), the others Θ(groups)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use congress::alloc::{AllocationStrategy, BasicCongress, Congress, House, Senate};
+use congress::GroupCensus;
+use relation::{ColumnId, GroupKey, Value};
+use tpcd::zipf_sizes;
+
+/// Synthetic 3-attribute census with `d³` groups and Zipf(1) sizes.
+fn census(d: usize) -> GroupCensus {
+    let groups = d * d * d;
+    let sizes = zipf_sizes(groups, (groups as u64) * 100, 1.0);
+    let keys = (0..groups)
+        .map(|i| {
+            GroupKey::new(vec![
+                Value::Int((i / (d * d)) as i64),
+                Value::Int(((i / d) % d) as i64),
+                Value::Int((i % d) as i64),
+            ])
+        })
+        .collect();
+    GroupCensus::from_counts(vec![ColumnId(0), ColumnId(1), ColumnId(2)], keys, sizes).unwrap()
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    for d in [5usize, 10, 22, 46] {
+        let census = census(d);
+        let groups = census.group_count();
+        let space = groups as f64 * 5.0;
+        let mut group = c.benchmark_group(format!("allocate_{groups}_groups"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::from_parameter("House"), |b| {
+            b.iter(|| House.allocate(&census, space).unwrap())
+        });
+        group.bench_function(BenchmarkId::from_parameter("Senate"), |b| {
+            b.iter(|| Senate.allocate(&census, space).unwrap())
+        });
+        group.bench_function(BenchmarkId::from_parameter("BasicCongress"), |b| {
+            b.iter(|| BasicCongress.allocate(&census, space).unwrap())
+        });
+        group.bench_function(BenchmarkId::from_parameter("Congress"), |b| {
+            b.iter(|| Congress.allocate(&census, space).unwrap())
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_allocation);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion bench for §6 construction: census-based draw vs the one-pass
+//! maintainer route, for every strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use congress::alloc::{BasicCongress, Congress, House, Senate};
+use congress::build::{construct_one_pass, OnePassStrategy};
+use congress::{CongressionalSample, GroupCensus};
+use tpcd::{GeneratorConfig, TpcdDataset};
+
+fn bench_construction(c: &mut Criterion) {
+    let ds = TpcdDataset::generate(GeneratorConfig {
+        table_size: 100_000,
+        num_groups: 1000,
+        group_skew: 0.86,
+        agg_skew: 0.86,
+        seed: 2,
+    });
+    let cols = ds.grouping_columns();
+    let census = GroupCensus::build(&ds.relation, &cols).unwrap();
+    let space = 7_000usize;
+
+    let mut group = c.benchmark_group("construct_census");
+    group.sample_size(10);
+    group.bench_function("House", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            CongressionalSample::draw(&ds.relation, &census, &House, space as f64, &mut rng)
+                .unwrap()
+        })
+    });
+    group.bench_function("Senate", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            CongressionalSample::draw(&ds.relation, &census, &Senate, space as f64, &mut rng)
+                .unwrap()
+        })
+    });
+    group.bench_function("BasicCongress", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            CongressionalSample::draw(
+                &ds.relation,
+                &census,
+                &BasicCongress,
+                space as f64,
+                &mut rng,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("Congress", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            CongressionalSample::draw(&ds.relation, &census, &Congress, space as f64, &mut rng)
+                .unwrap()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("construct_one_pass");
+    group.sample_size(10);
+    for (name, strat) in [
+        ("House", OnePassStrategy::House),
+        ("Senate", OnePassStrategy::Senate),
+        ("BasicCongress", OnePassStrategy::BasicCongress),
+        ("Congress", OnePassStrategy::Congress),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strat, |b, &strat| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(3);
+                construct_one_pass(&ds.relation, &cols, strat, space, &mut rng).unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("census_build_100k", |b| {
+        b.iter(|| GroupCensus::build(&ds.relation, &cols).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench backing Table 3 / Figure 18: per-query execution cost
+//! of the four rewrite strategies over a fixed Congress sample.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aqua::{RewriteChoice, SamplingStrategy};
+use bench::harness::{build_plan, ExperimentSetup};
+use tpcd::GeneratorConfig;
+
+fn bench_rewrites(c: &mut Criterion) {
+    let setup = ExperimentSetup::new(GeneratorConfig {
+        table_size: 100_000,
+        num_groups: 1000,
+        group_skew: 0.86,
+        agg_skew: 0.86,
+        seed: 1,
+    });
+    let mut group = c.benchmark_group("rewrite_qg2");
+    group.sample_size(20);
+    for rewrite in RewriteChoice::all() {
+        let plan = build_plan(&setup, SamplingStrategy::Congress, rewrite, 0.07, 5);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rewrite.name()),
+            &plan,
+            |b, plan| b.iter(|| plan.execute(&setup.qg2).unwrap()),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("rewrite_qg0");
+    group.sample_size(20);
+    for rewrite in RewriteChoice::all() {
+        let plan = build_plan(&setup, SamplingStrategy::Congress, rewrite, 0.07, 5);
+        let q = setup.qg0[0].clone();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rewrite.name()),
+            &plan,
+            |b, plan| b.iter(|| plan.execute(&q).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrites);
+criterion_main!(benches);

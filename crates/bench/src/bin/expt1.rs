@@ -1,0 +1,73 @@
+//! Experiment 1 (§7.2.1, Figures 14–16): accuracy of the four sample
+//! allocation strategies on the three query classes, at the default 7%
+//! sample with heavy group-size skew (z = 1.5).
+//!
+//! Run: `cargo run -p bench --release --bin expt1 [-- --quick]`
+//!
+//! Paper-expected shapes:
+//! * Figure 14 (Qg0): Senate worst; House best; Congress ≈ House.
+//! * Figure 15 (Qg3): House worst; Senate best; Congress in between.
+//! * Figure 16 (Qg2): House and Senate both poor; Congress best.
+
+use aqua::SamplingStrategy;
+use bench::harness::{accuracy_for_strategy, ExperimentSetup, QuerySet};
+use bench::report::{pct, Table};
+use tpcd::GeneratorConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = GeneratorConfig {
+        table_size: if quick { 100_000 } else { 1_000_000 },
+        num_groups: 1000,
+        group_skew: 1.5,
+        agg_skew: 0.86,
+        seed: 20000514,
+    };
+    let trials = if quick { 2 } else { 5 };
+    eprintln!(
+        "generating lineitem: T={}, NG={}, z={} ...",
+        config.table_size, config.num_groups, config.group_skew
+    );
+    let setup = ExperimentSetup::new(config);
+    eprintln!(
+        "census: {} non-empty groups over {} rows",
+        setup.census.group_count(),
+        setup.census.total_rows()
+    );
+
+    for (set, figure, expectation) in [
+        (
+            QuerySet::Qg0,
+            "Figure 14",
+            "Senate worst; House best; Congress close to House",
+        ),
+        (
+            QuerySet::Qg3,
+            "Figure 15",
+            "House worst; Senate best; Congress between",
+        ),
+        (
+            QuerySet::Qg2,
+            "Figure 16",
+            "House & Senate poor; Congress best/near-best",
+        ),
+    ] {
+        let mut table = Table::new(
+            format!(
+                "{figure}: {} error, SP=7%, z=1.5  [expect: {expectation}]",
+                set.name()
+            ),
+            &["strategy", "mean err %", "max err %"],
+        );
+        for strategy in SamplingStrategy::all() {
+            let acc = accuracy_for_strategy(&setup, strategy, set, 0.07, trials, 7_000);
+            table.row(&[
+                strategy.name().to_string(),
+                pct(acc.mean_error_pct),
+                pct(acc.max_error_pct),
+            ]);
+            eprintln!("  {} / {}: done", set.name(), strategy.name());
+        }
+        println!("{table}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Experiment 2 (§7.2.2, Figure 17): sensitivity of `Q_{g2}` accuracy to
+//! sample size, at the default skew z = 0.86.
+//!
+//! Run: `cargo run -p bench --release --bin expt2 [-- --quick]`
+//!
+//! Paper-expected shape: all errors drop with more space; House flattens
+//! (extra space goes to large groups); Congress drops rapidly.
+
+use aqua::SamplingStrategy;
+use bench::harness::{accuracy_for_strategy, ExperimentSetup, QuerySet};
+use bench::report::{pct, Table};
+use tpcd::GeneratorConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = GeneratorConfig {
+        table_size: if quick { 100_000 } else { 1_000_000 },
+        num_groups: 1000,
+        group_skew: 0.86,
+        agg_skew: 0.86,
+        seed: 20000515,
+    };
+    let trials = if quick { 2 } else { 5 };
+    let fractions: &[f64] = if quick {
+        &[0.01, 0.07, 0.25, 0.75]
+    } else {
+        &[0.01, 0.02, 0.05, 0.07, 0.10, 0.20, 0.35, 0.50, 0.75]
+    };
+
+    eprintln!(
+        "generating lineitem: T={}, NG={}, z={} ...",
+        config.table_size, config.num_groups, config.group_skew
+    );
+    let setup = ExperimentSetup::new(config);
+
+    let mut table = Table::new(
+        "Figure 17: Qg2 mean error % vs sample percentage (z=0.86) \
+         [expect: all drop; House flattens; Congress drops fast]",
+        &["SP %", "House", "Senate", "Basic Congress", "Congress"],
+    );
+    for &f in fractions {
+        let mut cells = vec![format!("{:.0}", f * 100.0)];
+        for strategy in SamplingStrategy::all() {
+            let acc = accuracy_for_strategy(&setup, strategy, QuerySet::Qg2, f, trials, 17_000);
+            cells.push(pct(acc.mean_error_pct));
+        }
+        table.row(&cells);
+        eprintln!("  SP={:.0}%: done", f * 100.0);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,65 @@
+//! Experiment 3 (§7.3.1, Table 3): execution time of the four rewriting
+//! strategies on `Q_{g2}` as the sample percentage grows (NG = 1000).
+//!
+//! Run: `cargo run -p bench --release --bin expt3 [-- --quick]`
+//!
+//! Paper-expected shape: Integrated-family ≫ Normalized-family; the
+//! Normalized times grow steeply with sample size (join cost); running on
+//! the full table is the slow baseline ("actual query time = 40 sec" on
+//! the paper's hardware).
+
+use std::time::{Duration, Instant};
+
+use aqua::{RewriteChoice, SamplingStrategy};
+use bench::harness::{build_plan, ExperimentSetup};
+use bench::report::{secs, Table};
+use engine::execute_exact;
+use tpcd::GeneratorConfig;
+
+/// Paper methodology: run five times, report the mean of the last four.
+fn time_runs(mut f: impl FnMut()) -> Duration {
+    let mut times = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed());
+    }
+    times[1..].iter().sum::<Duration>() / 4
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = GeneratorConfig {
+        table_size: if quick { 200_000 } else { 1_000_000 },
+        num_groups: 1000,
+        group_skew: 0.86,
+        agg_skew: 0.86,
+        seed: 20000516,
+    };
+    eprintln!("generating lineitem: T={} ...", config.table_size);
+    let setup = ExperimentSetup::new(config);
+
+    let exact_time = time_runs(|| {
+        let _ = execute_exact(&setup.dataset.relation, &setup.qg2).unwrap();
+    });
+    println!("\nactual (full-table) query time: {} s", secs(exact_time));
+
+    let mut table = Table::new(
+        "Table 3: Qg2 execution time (s) by rewrite strategy vs sample % \
+         [expect: Integrated-family fastest; Normalized-family grows steeply]",
+        &["technique", "1%", "5%", "10%"],
+    );
+    for rewrite in RewriteChoice::all() {
+        let mut cells = vec![rewrite.name().to_string()];
+        for f in [0.01, 0.05, 0.10] {
+            let plan = build_plan(&setup, SamplingStrategy::Congress, rewrite, f, 3_000);
+            let d = time_runs(|| {
+                let _ = plan.execute(&setup.qg2).unwrap();
+            });
+            cells.push(secs(d));
+        }
+        table.row(&cells);
+        eprintln!("  {}: done", rewrite.name());
+    }
+    println!("{table}");
+}

@@ -1,0 +1,83 @@
+//! Figure 5 worked example: expected sample sizes under every strategy for
+//! the paper's four-group relation (3000/3000/1500/2500 tuples, X = 100).
+//!
+//! Run: `cargo run -p bench --release --bin figure5`
+//!
+//! The printed numbers should match the paper's Figure 5 exactly (up to
+//! rounding): House 30/30/15/25; Senate 25 each; Basic Congress
+//! 27.3/27.3/22.7/22.7; Congress 23.5/23.5/17.7/35.3.
+
+use congress::alloc::{AllocationStrategy, BasicCongress, Congress, House, Senate};
+use congress::lattice::Grouping;
+use congress::GroupCensus;
+use relation::{ColumnId, GroupKey, Value};
+
+use bench::report::Table;
+
+fn main() {
+    let keys: Vec<GroupKey> = [("a1", "b1"), ("a1", "b2"), ("a1", "b3"), ("a2", "b3")]
+        .iter()
+        .map(|(a, b)| GroupKey::new(vec![Value::str(*a), Value::str(*b)]))
+        .collect();
+    let census = GroupCensus::from_counts(
+        vec![ColumnId(0), ColumnId(1)],
+        keys.clone(),
+        vec![3000, 3000, 1500, 2500],
+    )
+    .expect("valid census");
+    let x = 100.0;
+
+    let house = House.allocate(&census, x).unwrap();
+    let senate = Senate.allocate(&census, x).unwrap();
+    let basic = BasicCongress.allocate(&census, x).unwrap();
+    let congress = Congress.allocate(&census, x).unwrap();
+    let raw_congress = Congress::raw_targets(&census, x);
+
+    // Per-grouping s_{g,T} columns (Eq 4) for T = {A} and T = {B}.
+    let s_for = |t: Grouping| -> Vec<f64> {
+        let view = census.supergroups(t);
+        (0..census.group_count())
+            .map(|g| {
+                x / view.group_count as f64 * census.sizes()[g] as f64
+                    / view.sizes[view.supergroup_of[g] as usize] as f64
+            })
+            .collect()
+    };
+    let s_a = s_for(Grouping::from_positions(&[0]));
+    let s_b = s_for(Grouping::from_positions(&[1]));
+
+    let mut table = Table::new(
+        "Figure 5: expected sample sizes for X = 100",
+        &[
+            "A",
+            "B",
+            "House",
+            "Senate",
+            "BasicCongress",
+            "s_g,A",
+            "s_g,B",
+            "Congress(raw)",
+            "Congress",
+        ],
+    );
+    for (g, key) in keys.iter().enumerate() {
+        table.row(&[
+            key.values()[0].to_string(),
+            key.values()[1].to_string(),
+            format!("{:.1}", house.targets()[g]),
+            format!("{:.1}", senate.targets()[g]),
+            format!("{:.1}", basic.targets()[g]),
+            format!("{:.1}", s_a[g]),
+            format!("{:.1}", s_b[g]),
+            format!("{:.1}", raw_congress[g]),
+            format!("{:.1}", congress.targets()[g]),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Basic Congress scale-down f = {:.4}   Congress scale-down f = {:.4}",
+        basic.scale_down_factor(),
+        congress.scale_down_factor()
+    );
+    println!("(paper: BC before scaling sums to 110; Congress raw sums to ~141.7)");
+}

@@ -1,0 +1,95 @@
+//! Scale-down factor analysis (§4.6): the Congress scale-down factor `f`
+//! ranges from 1 (uniform group sizes) down to (nearly) `2^-|G|` under the
+//! pathological distribution of Eq 7, `|(v₁…vₙ)| = (2m)^{2nα}` where `α`
+//! counts coordinates equal to 1.
+//!
+//! Run: `cargo run -p bench --release --bin scaledown`
+//!
+//! Expected: for each n, measured `f` approaches `2^-n` as `m` grows, and
+//! stays below the paper's closed-form bound `(1 + (2m)^-n)(2 − 1/m)^-n`.
+
+use congress::alloc::{AllocationStrategy, Congress};
+use congress::GroupCensus;
+use relation::{ColumnId, GroupKey, Value};
+
+use bench::report::Table;
+
+/// Build the Eq-7 census for `n` attributes over domain `{1..m}`.
+/// Sizes are `(2m)^{2nα}`, which overflows u64 quickly — callers must keep
+/// `(2m)^{2n·n} < 2^63`.
+fn pathological_census(n: usize, m: usize) -> GroupCensus {
+    let base = (2 * m) as u128;
+    let mut keys = Vec::new();
+    let mut sizes = Vec::new();
+    let groups = (m as u64).pow(n as u32);
+    for idx in 0..groups {
+        let mut v = Vec::with_capacity(n);
+        let mut rest = idx;
+        let mut alpha = 0u32;
+        for _ in 0..n {
+            let val = (rest % m as u64) + 1;
+            rest /= m as u64;
+            if val == 1 {
+                alpha += 1;
+            }
+            v.push(Value::Int(val as i64));
+        }
+        let size = base.pow(2 * n as u32 * alpha);
+        assert!(
+            size < u64::MAX as u128,
+            "Eq-7 size overflow: pick smaller m/n"
+        );
+        keys.push(GroupKey::new(v));
+        sizes.push(size as u64);
+    }
+    let cols = (0..n).map(ColumnId).collect();
+    GroupCensus::from_counts(cols, keys, sizes).expect("valid pathological census")
+}
+
+fn main() {
+    let mut table = Table::new(
+        "§4.6 scale-down factor f under the Eq-7 pathological distribution \
+         [expect: f → 2^-n from above, below the closed-form bound]",
+        &["n", "m", "measured f", "paper bound", "limit 2^-n"],
+    );
+    let cases: &[(usize, &[usize])] = &[
+        (1, &[2, 8, 32, 128, 1024]),
+        (2, &[2, 8, 32, 64]),
+        (3, &[2, 3, 4, 5]),
+    ];
+    for &(n, ms) in cases {
+        for &m in ms {
+            let census = pathological_census(n, m);
+            let alloc = Congress.allocate(&census, 1000.0).expect("allocation");
+            let f = alloc.scale_down_factor();
+            let bound = (1.0 + (2.0 * m as f64).powi(-(n as i32)))
+                * (2.0 - 1.0 / m as f64).powi(-(n as i32));
+            let limit = 2f64.powi(-(n as i32));
+            assert!(
+                f <= bound + 1e-9,
+                "measured f {f} exceeds the paper's bound {bound} for n={n}, m={m}"
+            );
+            assert!(f >= limit - 1e-9, "f cannot drop below 2^-n");
+            table.row(&[
+                n.to_string(),
+                m.to_string(),
+                format!("{f:.5}"),
+                format!("{bound:.5}"),
+                format!("{limit:.5}"),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    // And the other extreme: uniform distribution → f = 1 (§4.6).
+    let keys: Vec<GroupKey> = (0..6)
+        .map(|i| GroupKey::new(vec![Value::Int(i % 2), Value::Int(i / 2)]))
+        .collect();
+    let uniform =
+        GroupCensus::from_counts(vec![ColumnId(0), ColumnId(1)], keys, vec![100; 6]).unwrap();
+    let f = Congress
+        .allocate(&uniform, 60.0)
+        .unwrap()
+        .scale_down_factor();
+    println!("uniform 2×3 grid: f = {f} (paper: exactly 1)");
+}

@@ -1,0 +1,73 @@
+//! §5.2 / §7.3.3 ablation: the execution-time vs maintenance-cost
+//! trade-off between the rewrite families.
+//!
+//! Run: `cargo run -p bench --release --bin tradeoff [-- --quick]`
+//!
+//! The paper's conclusion: Integrated / Nested-integrated win on query
+//! time but "incur higher maintenance costs (which we do not study here)";
+//! Key-normalized is the choice only for high-frequency-update warehouses.
+//! This harness quantifies both sides: per-query latency AND the number of
+//! stored cells rewritten when one stratum's sampling rate changes (e.g.
+//! after the §6 maintainers adjust a group's quota).
+
+use std::time::{Duration, Instant};
+
+use aqua::{RewriteChoice, SamplingStrategy};
+use bench::harness::{build_plan, ExperimentSetup};
+use bench::report::{secs, Table};
+use tpcd::GeneratorConfig;
+
+fn time_runs(mut f: impl FnMut()) -> Duration {
+    let mut times = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed());
+    }
+    times[1..].iter().sum::<Duration>() / 4
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let setup = ExperimentSetup::new(GeneratorConfig {
+        table_size: if quick { 100_000 } else { 1_000_000 },
+        num_groups: 1000,
+        group_skew: 0.86,
+        agg_skew: 0.86,
+        seed: 20000518,
+    });
+    let strata = setup.census.group_count() as u32;
+
+    let mut table = Table::new(
+        "§5.2 trade-off: query latency vs tuples touched per rate change \
+         [expect: Integrated-family fast queries / expensive maintenance; Normalized-family the reverse]",
+        &[
+            "technique",
+            "Qg2 time (s)",
+            "cells touched, all strata",
+            "worst single stratum",
+            "storage (KiB)",
+        ],
+    );
+    for rewrite in RewriteChoice::all() {
+        let plan = build_plan(&setup, SamplingStrategy::Congress, rewrite, 0.07, 8_000);
+        let d = time_runs(|| {
+            let _ = plan.execute(&setup.qg2).unwrap();
+        });
+        // Maintenance side: a full rate re-allocation (as after many
+        // insertions) touches Σ_g cost(g); a single group change touches
+        // cost(g) for that group.
+        let costs: Vec<usize> = (0..strata).map(|s| plan.rate_change_cost(s)).collect();
+        let total: usize = costs.iter().sum();
+        let worst = costs.iter().copied().max().unwrap_or(0);
+        table.row(&[
+            rewrite.name().to_string(),
+            secs(d),
+            total.to_string(),
+            worst.to_string(),
+            (plan.storage_bytes() / 1024).to_string(),
+        ]);
+        eprintln!("  {}: done", rewrite.name());
+    }
+    println!("{table}");
+}

@@ -1,0 +1,10 @@
+//! Shared experiment harness for regenerating the paper's tables and
+//! figures (§7). Each binary in `src/bin/` drives one experiment; this
+//! library holds the common machinery: dataset/census setup, plan
+//! construction per strategy, error measurement, and table printing.
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{accuracy_for_strategy, build_plan, AccuracyResult, ExperimentSetup, QuerySet};
+pub use report::Table;

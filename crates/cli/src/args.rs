@@ -1,0 +1,150 @@
+//! Hand-rolled argument parsing: `--flag value` options, `--flag`
+//! booleans, and positional arguments, with typed getters.
+
+use std::collections::HashMap;
+
+use crate::{CliError, Result};
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["demo", "help", "quiet"];
+
+/// Parsed command line: `command [--flag [value]]... [positional]...`.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag token).
+    pub command: String,
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    /// Parse raw arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err("empty flag `--`".into());
+                }
+                if BOOLEAN_FLAGS.contains(&name) {
+                    args.flags.insert(name.to_string(), "true".to_string());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| CliError::from(format!("flag --{name} requires a value")))?;
+                    args.flags.insert(name.to_string(), value);
+                }
+            } else if args.command.is_empty() {
+                args.command = tok;
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        Ok(args)
+    }
+
+    /// String flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Boolean flag presence.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<&str> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Typed flag with default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse `{raw}`")),
+        }
+    }
+
+    /// Comma-separated list flag.
+    pub fn get_list(&self, name: &str) -> Option<Vec<String>> {
+        self.get(name).map(|raw| {
+            raw.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+    }
+
+    /// The positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Exactly one positional argument (e.g. the SQL text).
+    pub fn one_positional(&self, what: &str) -> Result<&str> {
+        match self.positional.as_slice() {
+            [one] => Ok(one),
+            [] => Err(format!("expected {what} as a positional argument")),
+            _ => Err(format!(
+                "expected exactly one {what}, got {:?}",
+                self.positional
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_command_flags_and_positionals() {
+        let a = parse(&[
+            "query", "--csv", "data.csv", "--space", "5000", "--demo", "SELECT 1",
+        ]);
+        assert_eq!(a.command, "query");
+        assert_eq!(a.get("csv"), Some("data.csv"));
+        assert_eq!(a.get_parsed::<usize>("space", 0).unwrap(), 5000);
+        assert!(a.has("demo"));
+        assert_eq!(a.one_positional("sql").unwrap(), "SELECT 1");
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let a = parse(&["plan"]);
+        assert_eq!(a.get_parsed::<f64>("skew", 0.86).unwrap(), 0.86);
+        assert!(a.require("space").is_err());
+        assert!(a.one_positional("sql").is_err());
+
+        assert!(Args::parse(["--space".to_string()]).is_err()); // missing value
+        let bad = parse(&["plan", "--space", "abc"]);
+        assert!(bad.get_parsed::<usize>("space", 0).is_err());
+    }
+
+    #[test]
+    fn list_flag() {
+        let a = parse(&["inspect", "--group-by", "a, b,,c"]);
+        assert_eq!(
+            a.get_list("group-by").unwrap(),
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+        );
+        assert_eq!(a.get_list("nope"), None);
+    }
+
+    #[test]
+    fn multiple_positionals_rejected_when_one_expected() {
+        let a = parse(&["query", "one", "two"]);
+        assert!(a.one_positional("sql").is_err());
+        assert_eq!(a.positional().len(), 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Subcommand implementations. Each returns the text to print, so the
+//! commands are directly testable without spawning processes.
+
+mod inspect;
+mod plan;
+mod query;
+mod sample;
+
+pub use inspect::inspect;
+pub use plan::plan;
+pub use query::query;
+pub use sample::sample;
+
+use crate::args::Args;
+use crate::Result;
+
+/// Dispatch a parsed command line to its implementation.
+pub fn run(args: &Args) -> Result<String> {
+    match args.command.as_str() {
+        "inspect" => inspect(args),
+        "plan" => plan(args),
+        "query" => query(args),
+        "sample" => sample(args),
+        "" | "help" => Ok(crate::USAGE.to_string()),
+        other => Err(format!(
+            "unknown command `{other}` (inspect|plan|query|sample)\n\n{}",
+            crate::USAGE
+        )),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use crate::args::Args;
+
+    pub fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::args;
+    use super::*;
+
+    #[test]
+    fn help_and_unknown_commands() {
+        let out = run(&args(&["help"])).unwrap();
+        assert!(out.contains("congress-cli"));
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn end_to_end_demo_pipeline() {
+        // inspect → plan → query against the demo generator.
+        let out = run(&args(&[
+            "inspect", "--demo", "--rows", "5000", "--groups", "27",
+        ]))
+        .unwrap();
+        assert!(out.contains("27 non-empty groups"), "{out}");
+
+        let out = run(&args(&[
+            "plan", "--demo", "--rows", "5000", "--groups", "27", "--space", "270",
+        ]))
+        .unwrap();
+        assert!(out.contains("scale-down factor"), "{out}");
+
+        let out = run(&args(&[
+            "query",
+            "--demo",
+            "--rows",
+            "5000",
+            "--groups",
+            "27",
+            "--space",
+            "500",
+            "SELECT l_returnflag, SUM(l_quantity) AS s FROM lineitem GROUP BY l_returnflag",
+        ]))
+        .unwrap();
+        assert!(out.contains("approximate answer"), "{out}");
+        assert!(out.contains("exact answer"), "{out}");
+        assert!(out.contains("mean error"), "{out}");
+    }
+}

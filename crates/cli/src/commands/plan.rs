@@ -1,0 +1,126 @@
+//! `plan`: show the §4 allocation table for a budget.
+
+use std::fmt::Write as _;
+
+use congress::alloc::{AllocationStrategy, BasicCongress, Congress, House, Senate};
+use congress::GroupCensus;
+
+use crate::args::Args;
+use crate::data::load;
+use crate::{err, Result};
+
+/// Compute and print per-group targets for all four strategies (the
+/// Figure-5 table for the user's own data).
+pub fn plan(args: &Args) -> Result<String> {
+    let source = load(args)?;
+    let space: f64 = args.get_parsed("space", 0.0f64)?;
+    if space <= 0.0 {
+        return Err("plan requires --space <tuples>".into());
+    }
+    let top = args.get_parsed("top", 20usize)?;
+    let census = GroupCensus::build(&source.relation, &source.grouping).map_err(err)?;
+
+    let strategies: Vec<(&str, Box<dyn AllocationStrategy>)> = vec![
+        ("House", Box::new(House)),
+        ("Senate", Box::new(Senate)),
+        ("Basic", Box::new(BasicCongress)),
+        ("Congress", Box::new(Congress)),
+    ];
+    let allocations: Vec<_> = strategies
+        .iter()
+        .map(|(_, s)| s.allocate(&census, space).map_err(err))
+        .collect::<Result<_>>()?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "allocation plan for `{}`: {} groups, budget {space} tuples",
+        source.name,
+        census.group_count()
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "group", "rows", "House", "Senate", "Basic", "Congress"
+    );
+
+    // Print the largest groups first (where the strategies disagree most),
+    // then the smallest.
+    let mut order: Vec<usize> = (0..census.group_count()).collect();
+    order.sort_by_key(|&g| std::cmp::Reverse(census.sizes()[g]));
+    let shown: Vec<usize> = if order.len() <= top {
+        order
+    } else {
+        let head = top / 2;
+        let tail = top - head;
+        let mut v: Vec<usize> = order[..head].to_vec();
+        v.push(usize::MAX); // ellipsis marker
+        v.extend_from_slice(&order[order.len() - tail..]);
+        v
+    };
+    for g in shown {
+        if g == usize::MAX {
+            let _ = writeln!(out, "{:^28}", "⋮");
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            census.keys()[g].to_string(),
+            census.sizes()[g],
+            allocations[0].targets()[g],
+            allocations[1].targets()[g],
+            allocations[2].targets()[g],
+            allocations[3].targets()[g],
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nscale-down factor f: Basic {:.4}, Congress {:.4} \
+         (every group gets ≥ f × its ideal share under every grouping)",
+        allocations[2].scale_down_factor(),
+        allocations[3].scale_down_factor()
+    );
+    let min_cong = allocations[3]
+        .targets()
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let min_house = allocations[0]
+        .targets()
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let _ = writeln!(
+        out,
+        "smallest per-group target: House {min_house:.2} vs Congress {min_cong:.2}"
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_support::args;
+
+    #[test]
+    fn plan_prints_allocation_table() {
+        let out = plan(&args(&[
+            "plan", "--demo", "--rows", "8000", "--groups", "27", "--skew", "1.2", "--space", "540",
+        ]))
+        .unwrap();
+        assert!(out.contains("House"), "{out}");
+        assert!(out.contains("scale-down factor"), "{out}");
+        // Congress's floor beats House's under skew.
+        assert!(out.contains("smallest per-group target"), "{out}");
+    }
+
+    #[test]
+    fn plan_requires_space() {
+        let e = plan(&args(&[
+            "plan", "--demo", "--rows", "1000", "--groups", "8",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--space"));
+    }
+}

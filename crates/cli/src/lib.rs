@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! `congress-cli`: a command-line front end over the congressional-samples
+//! workspace. Point it at a CSV (or the built-in TPC-D-style generator),
+//! declare the dimensional columns, and it will take the census, plan an
+//! allocation, build a synopsis, and answer SQL approximately with error
+//! bounds — the whole paper, one command at a time.
+//!
+//! ```text
+//! congress-cli inspect --csv sales.csv --group-by region,product
+//! congress-cli plan    --csv sales.csv --group-by region,product --space 5000
+//! congress-cli query   --csv sales.csv --group-by region,product --space 5000 \
+//!     "SELECT region, AVG(amount) AS a FROM sales GROUP BY region"
+//! congress-cli sample  --csv sales.csv --group-by region,product --space 5000 \
+//!     --out sales.sample
+//! ```
+
+pub mod args;
+pub mod commands;
+pub mod data;
+
+/// CLI-level error: a message for the user plus a nonzero exit.
+pub type CliError = String;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Map any displayable error into a CLI error.
+pub fn err<E: std::fmt::Display>(e: E) -> CliError {
+    e.to_string()
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+congress-cli — approximate group-by answering via congressional samples
+
+USAGE:
+  congress-cli <COMMAND> [OPTIONS] [SQL]
+
+COMMANDS:
+  inspect   Take the census of the data: group counts and size skew
+  plan      Show the §4 allocation table for a space budget
+  query     Answer a SQL query approximately (with exact comparison)
+  sample    Draw a sample and write it as a binary snapshot
+
+DATA SOURCE (choose one):
+  --csv <FILE>            load a CSV with a header row (types inferred)
+  --demo                  generate the paper's TPC-D-style lineitem table
+      --rows <N>            demo table size        (default 100000)
+      --groups <N>          demo group count       (default 125)
+      --skew <Z>            demo group-size skew   (default 0.86)
+
+COMMON OPTIONS:
+  --group-by <c1,c2,...>  dimensional columns G (demo default: the paper's 3)
+  --space <N>             synopsis budget in tuples (plan/query/sample)
+  --strategy <S>          house | senate | basic | congress   (default congress)
+  --rewrite <R>           integrated | nested | normalized | keynorm
+                          (default nested)
+  --seed <N>              RNG seed (default 0)
+  --top <N>               rows to print in tables (default 20)
+  --out <FILE>            output path (sample)
+
+EXAMPLES:
+  congress-cli plan --demo --space 1000
+  congress-cli query --demo --space 7000 \\
+    \"SELECT l_returnflag, SUM(l_quantity) AS s FROM lineitem GROUP BY l_returnflag\"
+";

@@ -1,0 +1,22 @@
+//! `congress-cli` entry point.
+
+fn main() {
+    let args = match congress_cli::args::Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", congress_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if args.has("help") {
+        println!("{}", congress_cli::USAGE);
+        return;
+    }
+    match congress_cli::commands::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The Basic Congress strategy (§4.5): per-group maximum of the House and
+//! Senate allocations at the finest grouping, scaled down to the budget —
+//! optimizing jointly for `T ∈ {∅, G}` only.
+
+use crate::alloc::{check_space, scale_to_budget, Allocation, AllocationStrategy};
+use crate::census::GroupCensus;
+use crate::error::Result;
+
+/// `c_g = X · max(n_g/|R|, 1/m) / Σ_j max(n_j/|R|, 1/m)` (§4.5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BasicCongress;
+
+impl AllocationStrategy for BasicCongress {
+    fn name(&self) -> &'static str {
+        "Basic Congress"
+    }
+
+    fn allocate(&self, census: &GroupCensus, space: f64) -> Result<Allocation> {
+        check_space(space)?;
+        let n = census.total_rows() as f64;
+        let m = census.group_count() as f64;
+        let raw: Vec<f64> = census
+            .sizes()
+            .iter()
+            .map(|&ng| space * (ng as f64 / n).max(1.0 / m))
+            .collect();
+        Ok(scale_to_budget(raw, space))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::test_support::figure5_census;
+
+    /// Match targets (sorted) against expectations within `tol`.
+    fn assert_sorted_close(targets: &[f64], expect: &[f64], tol: f64) {
+        let mut t = targets.to_vec();
+        t.sort_by(f64::total_cmp);
+        let mut e = expect.to_vec();
+        e.sort_by(f64::total_cmp);
+        for (x, y) in t.iter().zip(&e) {
+            assert!((x - y).abs() < tol, "{t:?} vs {e:?}");
+        }
+    }
+
+    #[test]
+    fn figure5_before_and_after_scaling() {
+        // Paper Figure 5: before scaling 30, 30, 25, 25 (sum 110);
+        // after scaling 27.3, 27.3, 22.7, 22.7.
+        let c = figure5_census(1);
+        let a = BasicCongress.allocate(&c, 100.0).unwrap();
+        assert!((a.scale_down_factor() - 100.0 / 110.0).abs() < 1e-9);
+        assert_sorted_close(a.targets(), &[27.27, 27.27, 22.73, 22.73], 0.01);
+        assert!((a.total() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominates_pointwise_minimum_of_house_senate() {
+        use crate::alloc::{House, Senate};
+        let c = figure5_census(10);
+        let x = 100.0;
+        let bc = BasicCongress.allocate(&c, x).unwrap();
+        let h = House.allocate(&c, x).unwrap();
+        let s = Senate.allocate(&c, x).unwrap();
+        // After scaling, each group still gets at least f·max(house, senate).
+        let f = bc.scale_down_factor();
+        for g in 0..c.group_count() {
+            let ideal = h.targets()[g].max(s.targets()[g]);
+            assert!(bc.targets()[g] >= f * ideal - 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_groups_mean_no_scaling() {
+        use relation::{ColumnId, GroupKey, Value};
+        let keys = (0..4).map(|i| GroupKey::new(vec![Value::Int(i)])).collect();
+        let c =
+            crate::census::GroupCensus::from_counts(vec![ColumnId(0)], keys, vec![100; 4]).unwrap();
+        let a = BasicCongress.allocate(&c, 40.0).unwrap();
+        assert_eq!(a.scale_down_factor(), 1.0);
+        assert_eq!(a.targets(), &[10.0; 4]);
+    }
+}

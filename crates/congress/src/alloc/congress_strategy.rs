@@ -1,0 +1,225 @@
+//! The Congress strategy (§4.6): for every grouping `T ⊆ G`, compute the
+//! space each finest group would deserve if `T` were the only grouping
+//! (Eq 4), take the per-group maximum over all `T`, and scale down to the
+//! budget (Eq 5–6).
+
+use crate::alloc::{check_space, scale_to_budget, Allocation, AllocationStrategy};
+use crate::census::GroupCensus;
+use crate::error::Result;
+use crate::lattice::all_groupings;
+
+/// Full congressional allocation over the entire grouping lattice.
+///
+/// ```
+/// use congress::alloc::{AllocationStrategy, Congress};
+/// use congress::GroupCensus;
+/// use relation::{ColumnId, GroupKey, Value};
+///
+/// // The paper's Figure 5 census: 4 groups over attributes (A, B).
+/// let keys: Vec<GroupKey> = [("a1","b1"), ("a1","b2"), ("a1","b3"), ("a2","b3")]
+///     .iter()
+///     .map(|(a, b)| GroupKey::new(vec![Value::str(*a), Value::str(*b)]))
+///     .collect();
+/// let census = GroupCensus::from_counts(
+///     vec![ColumnId(0), ColumnId(1)], keys, vec![3000, 3000, 1500, 2500],
+/// ).unwrap();
+///
+/// let alloc = Congress.allocate(&census, 100.0).unwrap();
+/// // Figure 5's bottom-right column: 23.5, 23.5, 17.6, 35.3.
+/// assert!((alloc.targets()[3] - 35.3).abs() < 0.1);
+/// assert!((alloc.total() - 100.0).abs() < 1e-9);
+/// assert!((alloc.scale_down_factor() - 0.7059).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Congress;
+
+impl Congress {
+    /// The raw (pre-scaling) per-group allocation `max_{T⊆G} s_{g,T}`.
+    ///
+    /// Exposed so the scale-down analysis experiment (§4.6) can observe the
+    /// unscaled sum directly.
+    pub fn raw_targets(census: &GroupCensus, space: f64) -> Vec<f64> {
+        let k = census.attribute_count();
+        let mut best = vec![0.0f64; census.group_count()];
+        for t in all_groupings(k) {
+            let view = census.supergroups(t);
+            let per_group = space / view.group_count as f64;
+            for (g, &h) in view.supergroup_of.iter().enumerate() {
+                // Eq 4: s_{g,T} = (X / m_T) · (n_g / n_h)
+                let s = per_group * census.sizes()[g] as f64 / view.sizes[h as usize] as f64;
+                if s > best[g] {
+                    best[g] = s;
+                }
+            }
+        }
+        best
+    }
+}
+
+impl AllocationStrategy for Congress {
+    fn name(&self) -> &'static str {
+        "Congress"
+    }
+
+    fn allocate(&self, census: &GroupCensus, space: f64) -> Result<Allocation> {
+        check_space(space)?;
+        let raw = Self::raw_targets(census, space);
+        Ok(scale_to_budget(raw, space))
+    }
+}
+
+/// The alternative per-tuple formulation of Congress (Eq 8): the inclusion
+/// probability of each tuple `τ`, namely
+/// `max_{T⊆G} X / (m_T · n_{g(τ,T)})`, normalized so the expected sample
+/// size is `X`. Returned per *finest group* (all tuples of a finest group
+/// share the same probability, since `g(τ,T)` is determined by the finest
+/// group).
+pub fn per_tuple_probabilities(census: &GroupCensus, space: f64) -> Result<Vec<f64>> {
+    check_space(space)?;
+    let k = census.attribute_count();
+    // max_T X / (m_T · n_{g(τ,T)}) per finest group
+    let mut best = vec![0.0f64; census.group_count()];
+    for t in all_groupings(k) {
+        let view = census.supergroups(t);
+        for (g, &h) in view.supergroup_of.iter().enumerate() {
+            let p = space / (view.group_count as f64 * view.sizes[h as usize] as f64);
+            if p > best[g] {
+                best[g] = p;
+            }
+        }
+    }
+    // Normalize: Σ_τ p_τ = Σ_g n_g·best_g must equal X.
+    let total: f64 = best
+        .iter()
+        .zip(census.sizes())
+        .map(|(&p, &ng)| p * ng as f64)
+        .sum();
+    let norm = space / total;
+    Ok(best.into_iter().map(|p| (p * norm).min(1.0)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::test_support::figure5_census;
+    use relation::Value;
+
+    /// Look up the target for a specific (A, B) group in Figure 5.
+    fn target_for(census: &GroupCensus, targets: &[f64], a: &str, b: &str) -> f64 {
+        let idx = census
+            .keys()
+            .iter()
+            .position(|k| k.values()[0] == Value::str(a) && k.values()[1] == Value::str(b))
+            .unwrap();
+        targets[idx]
+    }
+
+    #[test]
+    fn figure5_raw_targets_match_paper() {
+        // Paper Figure 5, "Congress (before scaling)": 33.3, 33.3, 25, 50.
+        let c = figure5_census(1);
+        let raw = Congress::raw_targets(&c, 100.0);
+        assert!((target_for(&c, &raw, "a1", "b1") - 100.0 / 3.0).abs() < 0.05);
+        assert!((target_for(&c, &raw, "a1", "b2") - 100.0 / 3.0).abs() < 0.05);
+        assert!((target_for(&c, &raw, "a1", "b3") - 25.0).abs() < 0.05);
+        assert!((target_for(&c, &raw, "a2", "b3") - 50.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn figure5_scaled_targets_match_paper() {
+        // Paper Figure 5, "Congress" (after scaling): 23.5, 23.5, 17.7, 35.3.
+        let c = figure5_census(1);
+        let a = Congress.allocate(&c, 100.0).unwrap();
+        assert!((target_for(&c, a.targets(), "a1", "b1") - 23.5).abs() < 0.1);
+        assert!((target_for(&c, a.targets(), "a1", "b2") - 23.5).abs() < 0.1);
+        assert!((target_for(&c, a.targets(), "a1", "b3") - 17.7).abs() < 0.1);
+        assert!((target_for(&c, a.targets(), "a2", "b3") - 35.3).abs() < 0.1);
+        assert!((a.total() - 100.0).abs() < 1e-9);
+        // f = 100 / 141.67
+        assert!((a.scale_down_factor() - 100.0 / (100.0 / 3.0 * 2.0 + 25.0 + 50.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congress_dominates_house_and_senate_up_to_f() {
+        use crate::alloc::{House, Senate};
+        let c = figure5_census(1);
+        let x = 100.0;
+        let cg = Congress.allocate(&c, x).unwrap();
+        let f = cg.scale_down_factor();
+        let h = House.allocate(&c, x).unwrap();
+        let s = Senate.allocate(&c, x).unwrap();
+        for g in 0..c.group_count() {
+            // Congress guarantee: every group gets ≥ f × its best ideal.
+            assert!(cg.targets()[g] >= f * h.targets()[g] - 1e-9);
+            assert!(cg.targets()[g] >= f * s.targets()[g] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_has_f_equal_one() {
+        // §4.6: f = 1 when tuples are uniform across all groups.
+        use relation::{ColumnId, GroupKey};
+        let mut keys = Vec::new();
+        for a in 0..2i64 {
+            for b in 0..3i64 {
+                keys.push(GroupKey::new(vec![Value::Int(a), Value::Int(b)]));
+            }
+        }
+        let c = crate::census::GroupCensus::from_counts(
+            vec![ColumnId(0), ColumnId(1)],
+            keys,
+            vec![100; 6],
+        )
+        .unwrap();
+        let a = Congress.allocate(&c, 60.0).unwrap();
+        assert!((a.scale_down_factor() - 1.0).abs() < 1e-12);
+        for &t in a.targets() {
+            assert!((t - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_attribute_congress_reduces_to_basic() {
+        // With |G| = 1, the lattice is {∅, G}, so Congress ≡ Basic Congress.
+        use crate::alloc::BasicCongress;
+        use relation::{ColumnId, GroupKey};
+        let keys: Vec<GroupKey> = (0..3).map(|i| GroupKey::new(vec![Value::Int(i)])).collect();
+        let c =
+            crate::census::GroupCensus::from_counts(vec![ColumnId(0)], keys, vec![700, 200, 100])
+                .unwrap();
+        let cg = Congress.allocate(&c, 90.0).unwrap();
+        let bc = BasicCongress.allocate(&c, 90.0).unwrap();
+        for (x, y) in cg.targets().iter().zip(bc.targets()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn per_tuple_probabilities_sum_to_space() {
+        let c = figure5_census(1);
+        let probs = per_tuple_probabilities(&c, 100.0).unwrap();
+        let expected: f64 = probs
+            .iter()
+            .zip(c.sizes())
+            .map(|(&p, &n)| p * n as f64)
+            .sum();
+        assert!((expected - 100.0).abs() < 1e-6);
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn per_tuple_probabilities_match_sample_sizes() {
+        // Eq 8's expected group sample size equals Eq 5's SampleSize(g).
+        let c = figure5_census(1);
+        let probs = per_tuple_probabilities(&c, 100.0).unwrap();
+        let alloc = Congress.allocate(&c, 100.0).unwrap();
+        for (g, &p) in probs.iter().enumerate() {
+            let expect = p * c.sizes()[g] as f64;
+            assert!(
+                (expect - alloc.targets()[g]).abs() < 1e-6,
+                "group {g}: {expect} vs {}",
+                alloc.targets()[g]
+            );
+        }
+    }
+}

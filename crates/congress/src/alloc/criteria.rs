@@ -1,0 +1,260 @@
+//! The §8 multi-criteria weight-vector framework (paper Figure 19).
+//!
+//! A *weight vector* assigns each finest group a relative share of the
+//! space under one allocation criterion (House and Senate each contribute
+//! one; per-group variance contributes another). The final allocation is
+//! the per-group maximum over all weight vectors, scaled down to the
+//! budget — exactly the construction of Figure 5 generalized to arbitrary
+//! criteria.
+
+use relation::{Expr, Relation};
+
+use crate::alloc::{check_space, scale_to_budget, Allocation, AllocationStrategy};
+use crate::census::GroupCensus;
+use crate::error::{CongressError, Result};
+use crate::lattice::all_groupings;
+
+/// One named allocation criterion: a relative weight per finest group.
+/// Weights are normalized internally, so only ratios matter.
+#[derive(Debug, Clone)]
+pub struct WeightVector {
+    /// Criterion label (for reports).
+    pub name: String,
+    /// Relative weight per finest group (length = census group count).
+    pub weights: Vec<f64>,
+}
+
+impl WeightVector {
+    /// Construct, validating weights.
+    pub fn new(name: impl Into<String>, weights: Vec<f64>) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(CongressError::InvalidSpec("empty weight vector".into()));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(CongressError::InvalidSpec(
+                "weights must be finite and non-negative".into(),
+            ));
+        }
+        if weights.iter().sum::<f64>() <= 0.0 {
+            return Err(CongressError::InvalidSpec(
+                "weight vector must have positive total".into(),
+            ));
+        }
+        Ok(WeightVector {
+            name: name.into(),
+            weights,
+        })
+    }
+
+    /// The House criterion: weight ∝ group size.
+    pub fn house(census: &GroupCensus) -> WeightVector {
+        WeightVector {
+            name: "House".into(),
+            weights: census.sizes().iter().map(|&n| n as f64).collect(),
+        }
+    }
+
+    /// The Senate criterion: equal weight per group.
+    pub fn senate(census: &GroupCensus) -> WeightVector {
+        WeightVector {
+            name: "Senate".into(),
+            weights: vec![1.0; census.group_count()],
+        }
+    }
+
+    /// Every `s_{g,T}` column of the Congress table (Eq 4), one vector per
+    /// grouping `T ⊆ G`. Combining all of these via [`MultiCriteria`]
+    /// reproduces the Congress allocation.
+    pub fn congress_lattice(census: &GroupCensus) -> Vec<WeightVector> {
+        all_groupings(census.attribute_count())
+            .map(|t| {
+                let view = census.supergroups(t);
+                let weights = view
+                    .supergroup_of
+                    .iter()
+                    .enumerate()
+                    .map(|(g, &h)| {
+                        census.sizes()[g] as f64
+                            / (view.group_count as f64 * view.sizes[h as usize] as f64)
+                    })
+                    .collect();
+                WeightVector {
+                    name: format!("s_g,T(mask={})", t.0),
+                    weights,
+                }
+            })
+            .collect()
+    }
+
+    /// The §8 variance criterion: weight ∝ `n_g · S_g` where `S_g` is the
+    /// per-group standard deviation of `expr` — Neyman-style allocation, so
+    /// groups with wider spreads get more of the sample.
+    pub fn variance(census: &GroupCensus, rel: &Relation, expr: &Expr) -> Result<WeightVector> {
+        let gor = census.group_of_row().ok_or_else(|| {
+            CongressError::CensusMismatch(
+                "variance criterion requires a relation-built census".into(),
+            )
+        })?;
+        if gor.len() != rel.row_count() {
+            return Err(CongressError::CensusMismatch(format!(
+                "census covers {} rows, relation has {}",
+                gor.len(),
+                rel.row_count()
+            )));
+        }
+        let values = expr.eval(rel)?;
+        let g = census.group_count();
+        let mut sum = vec![0.0f64; g];
+        let mut sumsq = vec![0.0f64; g];
+        for (row, &gid) in gor.iter().enumerate() {
+            let v = values[row];
+            sum[gid as usize] += v;
+            sumsq[gid as usize] += v * v;
+        }
+        let weights = (0..g)
+            .map(|i| {
+                let n = census.sizes()[i] as f64;
+                let mean = sum[i] / n;
+                let var = (sumsq[i] / n - mean * mean).max(0.0);
+                n * var.sqrt()
+            })
+            .collect();
+        WeightVector::new("Variance", weights)
+    }
+}
+
+/// Allocation by per-group maximum over several weight vectors, scaled to
+/// the budget (Figure 19's "aggregate the space allocated by each of the
+/// weight vectors").
+#[derive(Debug, Clone)]
+pub struct MultiCriteria {
+    vectors: Vec<WeightVector>,
+}
+
+impl MultiCriteria {
+    /// Build from at least one criterion; all vectors must have the same
+    /// length.
+    pub fn new(vectors: Vec<WeightVector>) -> Result<Self> {
+        if vectors.is_empty() {
+            return Err(CongressError::InvalidSpec(
+                "multi-criteria allocation needs at least one weight vector".into(),
+            ));
+        }
+        let len = vectors[0].weights.len();
+        if vectors.iter().any(|v| v.weights.len() != len) {
+            return Err(CongressError::InvalidSpec(
+                "all weight vectors must have the same length".into(),
+            ));
+        }
+        Ok(MultiCriteria { vectors })
+    }
+
+    /// The criteria in use.
+    pub fn vectors(&self) -> &[WeightVector] {
+        &self.vectors
+    }
+}
+
+impl AllocationStrategy for MultiCriteria {
+    fn name(&self) -> &'static str {
+        "Multi-criteria"
+    }
+
+    fn allocate(&self, census: &GroupCensus, space: f64) -> Result<Allocation> {
+        check_space(space)?;
+        let g = census.group_count();
+        if self.vectors[0].weights.len() != g {
+            return Err(CongressError::CensusMismatch(format!(
+                "weight vectors cover {} groups, census has {g}",
+                self.vectors[0].weights.len()
+            )));
+        }
+        let mut raw = vec![0.0f64; g];
+        for v in &self.vectors {
+            let total: f64 = v.weights.iter().sum();
+            for (r, &w) in raw.iter_mut().zip(&v.weights) {
+                let share = space * w / total;
+                if share > *r {
+                    *r = share;
+                }
+            }
+        }
+        Ok(scale_to_budget(raw, space))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{BasicCongress, Congress};
+    use crate::census::test_support::{figure5_census, figure5_relation};
+    use relation::ColumnId;
+
+    #[test]
+    fn house_plus_senate_reproduces_basic_congress() {
+        let c = figure5_census(1);
+        let mc =
+            MultiCriteria::new(vec![WeightVector::house(&c), WeightVector::senate(&c)]).unwrap();
+        let a = mc.allocate(&c, 100.0).unwrap();
+        let b = BasicCongress.allocate(&c, 100.0).unwrap();
+        for (x, y) in a.targets().iter().zip(b.targets()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lattice_vectors_reproduce_congress() {
+        let c = figure5_census(1);
+        let mc = MultiCriteria::new(WeightVector::congress_lattice(&c)).unwrap();
+        let a = mc.allocate(&c, 100.0).unwrap();
+        let b = Congress.allocate(&c, 100.0).unwrap();
+        for (x, y) in a.targets().iter().zip(b.targets()) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+        assert!((a.scale_down_factor() - b.scale_down_factor()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_criterion_prefers_wide_groups() {
+        // Figure-5 relation where the (a2,b3) group's q values are spread
+        // out: give it a synthetic high-variance aggregate by construction.
+        let rel = figure5_relation(10);
+        let cols = rel.schema().column_ids(&["A", "B"]).unwrap();
+        let census = GroupCensus::build(&rel, &cols).unwrap();
+        let q = rel.schema().column_id("q").unwrap();
+        let v = WeightVector::variance(&census, &rel, &Expr::col(q)).unwrap();
+        assert_eq!(v.weights.len(), census.group_count());
+        assert!(v.weights.iter().all(|&w| w >= 0.0));
+        // q is a global running counter, so all groups have nonzero spread.
+        assert!(v.weights.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn variance_requires_row_mapping() {
+        use relation::{GroupKey, Value};
+        let keys = vec![GroupKey::new(vec![Value::Int(0)])];
+        let c = GroupCensus::from_counts(vec![ColumnId(0)], keys, vec![10]).unwrap();
+        let rel = figure5_relation(10);
+        let q = rel.schema().column_id("q").unwrap();
+        assert!(WeightVector::variance(&c, &rel, &Expr::col(q)).is_err());
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(WeightVector::new("w", vec![]).is_err());
+        assert!(WeightVector::new("w", vec![-1.0, 2.0]).is_err());
+        assert!(WeightVector::new("w", vec![0.0, 0.0]).is_err());
+        assert!(MultiCriteria::new(vec![]).is_err());
+        let a = WeightVector::new("a", vec![1.0, 1.0]).unwrap();
+        let b = WeightVector::new("b", vec![1.0]).unwrap();
+        assert!(MultiCriteria::new(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn mismatched_census_rejected_at_allocate() {
+        let c = figure5_census(1); // 4 groups
+        let v = WeightVector::new("w", vec![1.0, 1.0]).unwrap(); // 2 groups
+        let mc = MultiCriteria::new(vec![v]).unwrap();
+        assert!(mc.allocate(&c, 100.0).is_err());
+    }
+}

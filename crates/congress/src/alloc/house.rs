@@ -1,0 +1,64 @@
+//! The House strategy (§4.3): a uniform random sample of the relation —
+//! each group's expected share is proportional to its population, like
+//! seats in the U.S. House of Representatives.
+
+use crate::alloc::{check_space, Allocation, AllocationStrategy};
+use crate::census::GroupCensus;
+use crate::error::Result;
+
+/// Proportional (uniform-sampling) allocation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct House;
+
+impl AllocationStrategy for House {
+    fn name(&self) -> &'static str {
+        "House"
+    }
+
+    fn allocate(&self, census: &GroupCensus, space: f64) -> Result<Allocation> {
+        check_space(space)?;
+        let n = census.total_rows() as f64;
+        let targets = census
+            .sizes()
+            .iter()
+            .map(|&ng| space * ng as f64 / n)
+            .collect();
+        Ok(Allocation::new(targets, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::test_support::figure5_census;
+
+    #[test]
+    fn figure5_house_allocation() {
+        // Paper Figure 5, House column: 30, 30, 15, 25 for X = 100.
+        let c = figure5_census(1);
+        let a = House.allocate(&c, 100.0).unwrap();
+        let mut t = a.targets().to_vec();
+        t.sort_by(f64::total_cmp);
+        let expect = [15.0, 25.0, 30.0, 30.0];
+        for (x, e) in t.iter().zip(expect) {
+            assert!((x - e).abs() < 1e-9, "{x} vs {e}");
+        }
+        assert_eq!(a.scale_down_factor(), 1.0);
+        assert!((a.total() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportionality() {
+        let c = figure5_census(10);
+        let a = House.allocate(&c, 50.0).unwrap();
+        for (t, &ng) in a.targets().iter().zip(c.sizes()) {
+            assert!((t / 50.0 - ng as f64 / c.total_rows() as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_space() {
+        let c = figure5_census(10);
+        assert!(House.allocate(&c, 0.0).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! Sample-space allocation strategies (§4 of the paper).
+//!
+//! Every strategy maps a [`GroupCensus`] and a space budget `X` (in tuples)
+//! to an [`Allocation`]: a fractional target sample size for each group at
+//! the finest grouping `G`. Targets are then capped at group sizes and
+//! rounded to integers by [`Allocation::integer_counts`] before actual rows
+//! are drawn.
+//!
+//! | Strategy | Optimizes for | Paper §
+//! |---|---|---|
+//! | [`House`] | no-group-by queries (uniform sample) | 4.3 |
+//! | [`Senate`] | the finest grouping (equal per group) | 4.4 |
+//! | [`BasicCongress`] | `{∅, G}` | 4.5 |
+//! | [`Congress`] | every `T ⊆ G` | 4.6 |
+//! | [`WorkloadWeighted`] | known group preferences | 4.7 |
+//! | [`criteria::MultiCriteria`] | arbitrary weight vectors (e.g. variance) | 8 |
+
+mod basic_congress;
+mod congress_strategy;
+pub mod criteria;
+mod house;
+pub mod ranges;
+mod senate;
+mod subset;
+mod workload;
+
+pub use basic_congress::BasicCongress;
+pub use congress_strategy::{per_tuple_probabilities, Congress};
+pub use criteria::MultiCriteria;
+pub use house::House;
+pub use ranges::RangeBias;
+pub use senate::Senate;
+pub use subset::SubsetCongress;
+pub use workload::{GroupingPreference, WorkloadWeighted};
+
+use serde::{Deserialize, Serialize};
+
+use crate::census::GroupCensus;
+use crate::error::{CongressError, Result};
+
+/// The outcome of an allocation strategy: fractional expected sample sizes
+/// per finest group, plus the scale-down factor `f` (Eq 6) that was applied
+/// to fit the budget (`1.0` for strategies that fit by construction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    targets: Vec<f64>,
+    scale_down_factor: f64,
+}
+
+impl Allocation {
+    /// Assemble an allocation (crate-internal; strategies construct these).
+    pub(crate) fn new(targets: Vec<f64>, scale_down_factor: f64) -> Self {
+        Allocation {
+            targets,
+            scale_down_factor,
+        }
+    }
+
+    /// Fractional target sample size per finest group.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Sum of targets (≈ the space budget).
+    pub fn total(&self) -> f64 {
+        self.targets.iter().sum()
+    }
+
+    /// The scale-down factor `f` of Eq 6: the ratio by which every group's
+    /// ideal (pre-scaling) allocation was shrunk to fit the budget.
+    pub fn scale_down_factor(&self) -> f64 {
+        self.scale_down_factor
+    }
+
+    /// Convert fractional targets to integer per-group sample counts:
+    /// cap each target at its group size (footnote 12 — one cannot sample
+    /// more tuples than a group has), redistribute the excess to uncapped
+    /// groups proportionally, then round by largest remainder.
+    pub fn integer_counts(&self, sizes: &[u64]) -> Vec<usize> {
+        assert_eq!(self.targets.len(), sizes.len());
+        let mut t: Vec<f64> = self.targets.clone();
+
+        // Cap-and-redistribute until feasible (terminates: each round caps
+        // at least one more group or finds no overflow).
+        loop {
+            let mut overflow = 0.0;
+            for (x, &n) in t.iter_mut().zip(sizes) {
+                let cap = n as f64;
+                if *x > cap {
+                    overflow += *x - cap;
+                    *x = cap;
+                }
+            }
+            if overflow <= 1e-9 {
+                break;
+            }
+            let headroom: f64 = t
+                .iter()
+                .zip(sizes)
+                .map(|(&x, &n)| (n as f64 - x).max(0.0))
+                .sum();
+            if headroom <= 1e-9 {
+                break; // every group saturated; budget exceeds |R|
+            }
+            // Distribute overflow proportionally to remaining headroom.
+            let scale = (overflow / headroom).min(1.0);
+            for (x, &n) in t.iter_mut().zip(sizes) {
+                let head = (n as f64 - *x).max(0.0);
+                *x += head * scale;
+            }
+        }
+
+        // Largest-remainder rounding, never exceeding caps.
+        let total: f64 = t.iter().sum();
+        let want = total.round() as usize;
+        let mut counts: Vec<usize> = t.iter().map(|&x| x.floor() as usize).collect();
+        // floor can exceed cap only by fp error; clamp defensively
+        for (c, &n) in counts.iter_mut().zip(sizes) {
+            *c = (*c).min(n as usize);
+        }
+        let mut have: usize = counts.iter().sum();
+        if have < want {
+            let mut rema: Vec<(usize, f64)> = t
+                .iter()
+                .enumerate()
+                .filter(|&(g, _)| counts[g] < sizes[g] as usize)
+                .map(|(g, &x)| (g, x - x.floor()))
+                .collect();
+            rema.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let mut i = 0;
+            while have < want && !rema.is_empty() {
+                let (g, _) = rema[i % rema.len()];
+                if counts[g] < sizes[g] as usize {
+                    counts[g] += 1;
+                    have += 1;
+                }
+                i += 1;
+                if i > rema.len() * 2 {
+                    // all remaining groups at cap
+                    rema.retain(|&(g, _)| counts[g] < sizes[g] as usize);
+                    i = 0;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Per-group sampling rate implied by the integer counts.
+    pub fn sampling_rates(&self, sizes: &[u64]) -> Vec<f64> {
+        self.integer_counts(sizes)
+            .iter()
+            .zip(sizes)
+            .map(|(&c, &n)| c as f64 / n as f64)
+            .collect()
+    }
+}
+
+/// A strategy for dividing sample space among the finest groups.
+pub trait AllocationStrategy {
+    /// Strategy name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Compute fractional targets for a budget of `space` tuples.
+    fn allocate(&self, census: &GroupCensus, space: f64) -> Result<Allocation>;
+}
+
+/// Shared validation for all strategies.
+pub(crate) fn check_space(space: f64) -> Result<()> {
+    if space.is_nan() || space <= 0.0 || !space.is_finite() {
+        return Err(CongressError::InvalidSpace(space));
+    }
+    Ok(())
+}
+
+/// Scale raw (pre-scaling) per-group allocations down to `space`, returning
+/// the allocation and the scale-down factor `f = X / Σ raw` (Eq 6). When
+/// `Σ raw ≤ X` no scaling is applied and `f = 1`.
+pub(crate) fn scale_to_budget(raw: Vec<f64>, space: f64) -> Allocation {
+    let total: f64 = raw.iter().sum();
+    if total <= space || total == 0.0 {
+        return Allocation::new(raw, 1.0);
+    }
+    let f = space / total;
+    let targets = raw.into_iter().map(|x| x * f).collect();
+    Allocation::new(targets, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_counts_conserve_total() {
+        let a = Allocation::new(vec![2.4, 2.4, 2.2], 1.0);
+        let counts = a.integer_counts(&[100, 100, 100]);
+        assert_eq!(counts.iter().sum::<usize>(), 7);
+        // Largest remainders get the extra units.
+        assert_eq!(counts, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn integer_counts_cap_at_group_size() {
+        // Target 50 for a group of 10: excess flows to the other group.
+        let a = Allocation::new(vec![50.0, 50.0], 1.0);
+        let counts = a.integer_counts(&[10, 1000]);
+        assert_eq!(counts[0], 10);
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn integer_counts_budget_exceeds_relation() {
+        let a = Allocation::new(vec![500.0, 500.0], 1.0);
+        let counts = a.integer_counts(&[10, 20]);
+        assert_eq!(counts, vec![10, 20]);
+    }
+
+    #[test]
+    fn cascading_caps_redistribute() {
+        // Overflow larger than one group's headroom spills across rounds.
+        let a = Allocation::new(vec![90.0, 8.0, 2.0], 1.0);
+        let counts = a.integer_counts(&[10, 12, 1000]);
+        assert_eq!(counts[0], 10);
+        assert!(counts[1] <= 12);
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+        // Extreme case: overflow saturates every small group.
+        let a = Allocation::new(vec![100.0, 0.0, 0.0], 1.0);
+        let counts = a.integer_counts(&[10, 20, 60]);
+        assert_eq!(counts, vec![10, 20, 60]);
+    }
+
+    #[test]
+    fn scale_to_budget_computes_f() {
+        let a = scale_to_budget(vec![60.0, 60.0], 100.0);
+        assert!((a.scale_down_factor() - 100.0 / 120.0).abs() < 1e-12);
+        assert!((a.total() - 100.0).abs() < 1e-9);
+        let b = scale_to_budget(vec![40.0, 40.0], 100.0);
+        assert_eq!(b.scale_down_factor(), 1.0);
+        assert_eq!(b.total(), 80.0);
+    }
+
+    #[test]
+    fn sampling_rates_are_fractions() {
+        let a = Allocation::new(vec![5.0, 10.0], 1.0);
+        let rates = a.sampling_rates(&[10, 100]);
+        assert_eq!(rates, vec![0.5, 0.1]);
+    }
+
+    #[test]
+    fn check_space_rejects_bad_values() {
+        assert!(check_space(-1.0).is_err());
+        assert!(check_space(0.0).is_err());
+        assert!(check_space(f64::NAN).is_err());
+        assert!(check_space(f64::INFINITY).is_err());
+        assert!(check_space(10.0).is_ok());
+    }
+}

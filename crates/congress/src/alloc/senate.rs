@@ -1,0 +1,53 @@
+//! The Senate strategy (§4.4): equal space per non-empty group of the
+//! finest grouping, like two senators per state regardless of population.
+
+use crate::alloc::{check_space, Allocation, AllocationStrategy};
+use crate::census::GroupCensus;
+use crate::error::Result;
+
+/// Equal-per-group allocation at the finest grouping.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Senate;
+
+impl AllocationStrategy for Senate {
+    fn name(&self) -> &'static str {
+        "Senate"
+    }
+
+    fn allocate(&self, census: &GroupCensus, space: f64) -> Result<Allocation> {
+        check_space(space)?;
+        let m = census.group_count() as f64;
+        let per_group = space / m;
+        Ok(Allocation::new(vec![per_group; census.group_count()], 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::test_support::figure5_census;
+
+    #[test]
+    fn figure5_senate_allocation() {
+        // Paper Figure 5, Senate column: 25 per group for X = 100.
+        let c = figure5_census(1);
+        let a = Senate.allocate(&c, 100.0).unwrap();
+        assert_eq!(a.targets(), &[25.0, 25.0, 25.0, 25.0]);
+        assert_eq!(a.scale_down_factor(), 1.0);
+    }
+
+    #[test]
+    fn small_groups_capped_at_integerization() {
+        let c = figure5_census(100); // groups of 30, 30, 15, 25
+        let a = Senate.allocate(&c, 80.0).unwrap();
+        // target 20 each; the 15-tuple group caps at 15 and the excess
+        // spreads over the others.
+        let counts = a.integer_counts(c.sizes());
+        assert_eq!(counts.iter().sum::<usize>(), 80);
+        let g15 = c.sizes().iter().position(|&s| s == 15).unwrap();
+        assert_eq!(counts[g15], 15);
+        for (g, &cnt) in counts.iter().enumerate() {
+            assert!(cnt as u64 <= c.sizes()[g]);
+        }
+    }
+}

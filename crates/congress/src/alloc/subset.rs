@@ -1,0 +1,150 @@
+//! Congress restricted to a chosen set of groupings — the paper's "we show
+//! how congressional samples can be specialized to specific subsets of
+//! group-by queries" (§1, contributions; §4.5–4.6 are the `{∅, G}` and
+//! full-lattice instances).
+//!
+//! When the workload is known to only ever group on certain `T`s (e.g.
+//! reports always roll up by `{returnflag}` or `{returnflag, linestatus}`
+//! but never by `shipdate` alone), maximizing over just those groupings
+//! wastes no space on the others and yields a larger scale-down factor `f`
+//! — strictly better guarantees for the groupings that matter.
+
+use crate::alloc::{check_space, scale_to_budget, Allocation, AllocationStrategy};
+use crate::census::GroupCensus;
+use crate::error::{CongressError, Result};
+use crate::lattice::Grouping;
+
+/// Congressional allocation over an explicit set of groupings.
+#[derive(Debug, Clone)]
+pub struct SubsetCongress {
+    groupings: Vec<Grouping>,
+}
+
+impl SubsetCongress {
+    /// Allocation maximizing over exactly `groupings` (duplicates are
+    /// ignored). At least one grouping is required.
+    pub fn new(mut groupings: Vec<Grouping>) -> Result<SubsetCongress> {
+        groupings.sort();
+        groupings.dedup();
+        if groupings.is_empty() {
+            return Err(CongressError::InvalidSpec(
+                "subset congress needs at least one grouping".into(),
+            ));
+        }
+        Ok(SubsetCongress { groupings })
+    }
+
+    /// The `{∅, G}` instance — literally Basic Congress.
+    pub fn basic(attribute_count: usize) -> SubsetCongress {
+        SubsetCongress {
+            groupings: vec![Grouping::EMPTY, Grouping::full(attribute_count)],
+        }
+    }
+
+    /// The groupings being optimized for.
+    pub fn groupings(&self) -> &[Grouping] {
+        &self.groupings
+    }
+}
+
+impl AllocationStrategy for SubsetCongress {
+    fn name(&self) -> &'static str {
+        "Subset Congress"
+    }
+
+    fn allocate(&self, census: &GroupCensus, space: f64) -> Result<Allocation> {
+        check_space(space)?;
+        let full = Grouping::full(census.attribute_count());
+        let mut raw = vec![0.0f64; census.group_count()];
+        for &t in &self.groupings {
+            if !t.is_subset_of(full) {
+                return Err(CongressError::InvalidSpec(format!(
+                    "grouping {t:?} is not a subset of the census's G"
+                )));
+            }
+            let view = census.supergroups(t);
+            let per_group = space / view.group_count as f64;
+            for (g, &h) in view.supergroup_of.iter().enumerate() {
+                let s = per_group * census.sizes()[g] as f64 / view.sizes[h as usize] as f64;
+                if s > raw[g] {
+                    raw[g] = s;
+                }
+            }
+        }
+        Ok(scale_to_budget(raw, space))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{BasicCongress, Congress, House, Senate};
+    use crate::census::test_support::figure5_census;
+    use crate::lattice::all_groupings;
+
+    #[test]
+    fn basic_instance_matches_basic_congress() {
+        let c = figure5_census(1);
+        let sc = SubsetCongress::basic(2);
+        let a = sc.allocate(&c, 100.0).unwrap();
+        let b = BasicCongress.allocate(&c, 100.0).unwrap();
+        for (x, y) in a.targets().iter().zip(b.targets()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn full_lattice_matches_congress() {
+        let c = figure5_census(1);
+        let sc = SubsetCongress::new(all_groupings(2).collect()).unwrap();
+        let a = sc.allocate(&c, 100.0).unwrap();
+        let b = Congress.allocate(&c, 100.0).unwrap();
+        for (x, y) in a.targets().iter().zip(b.targets()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn singleton_instances_match_house_and_senate() {
+        let c = figure5_census(1);
+        let only_empty = SubsetCongress::new(vec![Grouping::EMPTY]).unwrap();
+        let a = only_empty.allocate(&c, 100.0).unwrap();
+        let h = House.allocate(&c, 100.0).unwrap();
+        for (x, y) in a.targets().iter().zip(h.targets()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        let only_full = SubsetCongress::new(vec![Grouping::full(2)]).unwrap();
+        let a = only_full.allocate(&c, 100.0).unwrap();
+        let s = Senate.allocate(&c, 100.0).unwrap();
+        for (x, y) in a.targets().iter().zip(s.targets()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fewer_groupings_never_shrink_f() {
+        // Dropping groupings from the max can only lower Σ raw, so f (the
+        // guarantee multiplier) is monotone: subset f ≥ full-lattice f.
+        let c = figure5_census(1);
+        let full_f = Congress.allocate(&c, 100.0).unwrap().scale_down_factor();
+        for t in all_groupings(2) {
+            let sc = SubsetCongress::new(vec![t, Grouping::EMPTY]).unwrap();
+            let f = sc.allocate(&c, 100.0).unwrap().scale_down_factor();
+            assert!(
+                f >= full_f - 1e-12,
+                "subset {{∅, {t:?}}} has f {f} < full {full_f}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SubsetCongress::new(vec![]).is_err());
+        let c = figure5_census(1); // |G| = 2
+        let sc = SubsetCongress::new(vec![Grouping::from_positions(&[4])]).unwrap();
+        assert!(sc.allocate(&c, 10.0).is_err());
+        // Duplicates collapse.
+        let sc = SubsetCongress::new(vec![Grouping::EMPTY, Grouping::EMPTY]).unwrap();
+        assert_eq!(sc.groupings().len(), 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! Workload-weighted allocation (§4.7): when relative preferences between
+//! groupings and groups are known, each group `h` under grouping `T`
+//! carries a preference `r_h`, and each finest subgroup `g ⊆ h` is
+//! allocated `X · r_h · n_g / n_h`, maximized over all `(T, h)` containing
+//! it and scaled down to the budget.
+
+use std::collections::HashMap;
+
+use relation::GroupKey;
+
+use crate::alloc::{check_space, scale_to_budget, Allocation, AllocationStrategy};
+use crate::census::GroupCensus;
+use crate::error::{CongressError, Result};
+use crate::lattice::Grouping;
+
+/// Preferences for one grouping `T`: a relative weight per super-group key.
+/// Groups absent from the map carry weight zero (no interest).
+#[derive(Debug, Clone)]
+pub struct GroupingPreference {
+    /// The grouping the preferences apply to.
+    pub grouping: Grouping,
+    /// `r_h` per super-group key under that grouping.
+    pub weights: HashMap<GroupKey, f64>,
+}
+
+/// The §4.7 strategy, parameterized by per-grouping group preferences.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadWeighted {
+    preferences: Vec<GroupingPreference>,
+}
+
+impl WorkloadWeighted {
+    /// Build from explicit preferences. At least one preference with a
+    /// positive weight is required.
+    pub fn new(preferences: Vec<GroupingPreference>) -> Result<Self> {
+        let any_positive = preferences
+            .iter()
+            .flat_map(|p| p.weights.values())
+            .any(|&w| w > 0.0);
+        if !any_positive {
+            return Err(CongressError::InvalidSpec(
+                "workload preferences must include at least one positive weight".into(),
+            ));
+        }
+        if let Some(w) = preferences
+            .iter()
+            .flat_map(|p| p.weights.values())
+            .find(|&&w| w < 0.0 || !w.is_finite())
+        {
+            return Err(CongressError::InvalidSpec(format!(
+                "preference weights must be finite and non-negative, got {w}"
+            )));
+        }
+        Ok(WorkloadWeighted { preferences })
+    }
+
+    /// Derive preferences from an observed query workload (the footnote-5
+    /// direction: "automatically extract this information from a query
+    /// workload"). Each query contributes one unit of interest to its
+    /// grouping `T`, spread equally over `T`'s non-empty groups (strategy
+    /// S1 applied per grouping, weighted by how often the grouping is
+    /// asked). Queries grouping on columns outside the census's `G` are
+    /// ignored — they cannot be served by this sample anyway.
+    pub fn from_query_mix(
+        census: &GroupCensus,
+        groupings: &[Vec<relation::ColumnId>],
+    ) -> Result<Self> {
+        use std::collections::hash_map::Entry;
+        let mut freq: HashMap<Grouping, f64> = HashMap::new();
+        let positions_of = |cols: &[relation::ColumnId]| -> Option<Vec<usize>> {
+            cols.iter()
+                .map(|c| census.grouping_columns().iter().position(|g| g == c))
+                .collect()
+        };
+        let mut covered = 0usize;
+        for cols in groupings {
+            let Some(positions) = positions_of(cols) else {
+                continue;
+            };
+            covered += 1;
+            *freq
+                .entry(Grouping::from_positions(&positions))
+                .or_insert(0.0) += 1.0;
+        }
+        if covered == 0 {
+            return Err(CongressError::InvalidSpec(
+                "no query in the mix groups on the census's dimensional columns".into(),
+            ));
+        }
+        let mut preferences = Vec::with_capacity(freq.len());
+        for (grouping, f) in freq {
+            let positions = grouping.positions();
+            let mut weights = HashMap::new();
+            for key in census.keys() {
+                let hkey = key.project(&positions);
+                if let Entry::Vacant(e) = weights.entry(hkey) {
+                    e.insert(f);
+                }
+            }
+            preferences.push(GroupingPreference { grouping, weights });
+        }
+        WorkloadWeighted::new(preferences)
+    }
+
+    /// Uniform interest in every group of a single grouping `T` — recovers
+    /// Senate on `T` when it is the only preference.
+    pub fn uniform_on(census: &GroupCensus, grouping: Grouping) -> Self {
+        let view = census.supergroups(grouping);
+        let positions = grouping.positions();
+        let mut weights = HashMap::new();
+        for (g, key) in census.keys().iter().enumerate() {
+            let hkey = key.project(&positions);
+            let _ = view.supergroup_of[g];
+            weights.entry(hkey).or_insert(1.0);
+        }
+        WorkloadWeighted {
+            preferences: vec![GroupingPreference { grouping, weights }],
+        }
+    }
+}
+
+impl AllocationStrategy for WorkloadWeighted {
+    fn name(&self) -> &'static str {
+        "Workload-weighted"
+    }
+
+    fn allocate(&self, census: &GroupCensus, space: f64) -> Result<Allocation> {
+        check_space(space)?;
+        let k = census.attribute_count();
+        let full = Grouping::full(k);
+        let mut raw = vec![0.0f64; census.group_count()];
+
+        for pref in &self.preferences {
+            if !pref.grouping.is_subset_of(full) {
+                return Err(CongressError::InvalidSpec(format!(
+                    "preference grouping {:?} not a subset of G",
+                    pref.grouping
+                )));
+            }
+            let view = census.supergroups(pref.grouping);
+            let positions = pref.grouping.positions();
+            for (g, &h) in view.supergroup_of.iter().enumerate() {
+                let hkey = census.keys()[g].project(&positions);
+                let r = pref.weights.get(&hkey).copied().unwrap_or(0.0);
+                if r <= 0.0 {
+                    continue;
+                }
+                // SampleSize(g) candidate: X · r_h · n_g / n_h
+                let s = space * r * census.sizes()[g] as f64 / view.sizes[h as usize] as f64;
+                if s > raw[g] {
+                    raw[g] = s;
+                }
+            }
+        }
+        Ok(scale_to_budget(raw, space))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::Senate;
+    use crate::census::test_support::figure5_census;
+    use relation::Value;
+
+    #[test]
+    fn uniform_on_finest_matches_senate_shape() {
+        let c = figure5_census(10);
+        let w = WorkloadWeighted::uniform_on(&c, Grouping::full(2));
+        let a = w.allocate(&c, 100.0).unwrap();
+        let s = Senate.allocate(&c, 100.0).unwrap();
+        // Proportions match Senate (weights are relative).
+        let ratio = a.targets()[0] / s.targets()[0];
+        for (x, y) in a.targets().iter().zip(s.targets()) {
+            assert!((x / y - ratio).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn skewed_preference_biases_group() {
+        let c = figure5_census(10);
+        // Prefer a2 nine times more than a1 when grouping on A.
+        let mut weights = HashMap::new();
+        weights.insert(GroupKey::new(vec![Value::str("a1")]), 1.0);
+        weights.insert(GroupKey::new(vec![Value::str("a2")]), 9.0);
+        let w = WorkloadWeighted::new(vec![GroupingPreference {
+            grouping: Grouping::from_positions(&[0]),
+            weights,
+        }])
+        .unwrap();
+        let a = w.allocate(&c, 100.0).unwrap();
+        // a2's single finest group (a2,b3) should dwarf each a1 subgroup.
+        let a2 = c
+            .keys()
+            .iter()
+            .position(|k| k.values()[0] == Value::str("a2"))
+            .unwrap();
+        for (g, &t) in a.targets().iter().enumerate() {
+            if g != a2 {
+                assert!(a.targets()[a2] > 3.0 * t);
+            }
+        }
+    }
+
+    #[test]
+    fn unreferenced_groups_get_zero() {
+        let c = figure5_census(10);
+        let mut weights = HashMap::new();
+        weights.insert(GroupKey::new(vec![Value::str("a2")]), 1.0);
+        let w = WorkloadWeighted::new(vec![GroupingPreference {
+            grouping: Grouping::from_positions(&[0]),
+            weights,
+        }])
+        .unwrap();
+        let a = w.allocate(&c, 100.0).unwrap();
+        let zeros = a.targets().iter().filter(|&&t| t == 0.0).count();
+        assert_eq!(zeros, 3); // the three a1 subgroups
+    }
+
+    #[test]
+    fn query_mix_weights_follow_frequencies() {
+        let c = figure5_census(10);
+        // Mix: grouping on {A,B} three times, on ∅ once. Column ids in the
+        // figure-5 relation: A = 0, B = 1.
+        use relation::ColumnId;
+        let mix = vec![
+            vec![ColumnId(0), ColumnId(1)],
+            vec![ColumnId(0), ColumnId(1)],
+            vec![ColumnId(0), ColumnId(1)],
+            vec![],
+        ];
+        let w = WorkloadWeighted::from_query_mix(&c, &mix).unwrap();
+        let a = w.allocate(&c, 100.0).unwrap();
+        // Senate term dominates: 3 units over 4 groups (→ 75 per group
+        // before normalization) vs 1 unit over the whole relation.
+        // Allocation should be closer to Senate than to House.
+        use crate::alloc::{House, Senate};
+        let senate = Senate.allocate(&c, 100.0).unwrap();
+        let house = House.allocate(&c, 100.0).unwrap();
+        let dist =
+            |x: &[f64], y: &[f64]| -> f64 { x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum() };
+        assert!(
+            dist(a.targets(), senate.targets()) < dist(a.targets(), house.targets()),
+            "mix dominated by finest grouping must look like Senate"
+        );
+    }
+
+    #[test]
+    fn query_mix_ignores_foreign_groupings() {
+        let c = figure5_census(10);
+        use relation::ColumnId;
+        // One query on a column outside G, one on {A}.
+        let mix = vec![vec![ColumnId(42)], vec![ColumnId(0)]];
+        let w = WorkloadWeighted::from_query_mix(&c, &mix).unwrap();
+        assert!(w.allocate(&c, 50.0).is_ok());
+        // A mix with nothing addressable is rejected.
+        let bad = vec![vec![ColumnId(42)]];
+        assert!(WorkloadWeighted::from_query_mix(&c, &bad).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(WorkloadWeighted::new(vec![]).is_err());
+        let mut weights = HashMap::new();
+        weights.insert(GroupKey::empty(), -1.0);
+        assert!(WorkloadWeighted::new(vec![GroupingPreference {
+            grouping: Grouping::EMPTY,
+            weights,
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_grouping_outside_lattice() {
+        let c = figure5_census(10); // |G| = 2
+        let mut weights = HashMap::new();
+        weights.insert(GroupKey::new(vec![Value::Int(0)]), 1.0);
+        let w = WorkloadWeighted::new(vec![GroupingPreference {
+            grouping: Grouping::from_positions(&[5]),
+            weights,
+        }])
+        .unwrap();
+        assert!(w.allocate(&c, 100.0).is_err());
+    }
+}

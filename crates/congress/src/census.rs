@@ -1,0 +1,359 @@
+//! The group census: per-group counts at the finest grouping, plus the
+//! super-group structure for every coarser grouping `T ⊆ G`.
+//!
+//! This is the information the paper assumes is available from "a data cube
+//! of the counts of each group in all possible groupings" (§6). All
+//! allocation strategies consume a census rather than a relation, so the
+//! scale-down-factor analysis (§4.6) can run on synthetic censuses far too
+//! large to materialize as rows.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use engine::GroupIndex;
+use relation::{ColumnId, GroupKey, Relation};
+
+use crate::error::{CongressError, Result};
+use crate::lattice::Grouping;
+
+/// Counts of every non-empty group at the finest grouping `G`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupCensus {
+    grouping_columns: Vec<ColumnId>,
+    keys: Vec<GroupKey>,
+    sizes: Vec<u64>,
+    total: u64,
+    /// Finest group id per relation row; present only when built from a
+    /// relation (needed to draw actual samples).
+    group_of_row: Option<Vec<u32>>,
+}
+
+/// The structure of a coarser grouping `T ⊆ G` relative to the finest
+/// grouping: how many groups `T` has, which `T`-group each finest group
+/// belongs to, and each `T`-group's size.
+#[derive(Debug, Clone)]
+pub struct SupergroupView {
+    /// `m_T`: number of non-empty groups under `T`.
+    pub group_count: usize,
+    /// For each finest group `g`, the id of its super-group `h` under `T`.
+    pub supergroup_of: Vec<u32>,
+    /// `n_h` for each super-group id.
+    pub sizes: Vec<u64>,
+}
+
+impl GroupCensus {
+    /// Take the census of `rel` over grouping columns `cols` (the paper's
+    /// `G`). One pass over the relation.
+    pub fn build(rel: &Relation, cols: &[ColumnId]) -> Result<GroupCensus> {
+        for &c in cols {
+            rel.schema().field(c)?;
+        }
+        if rel.is_empty() {
+            return Err(CongressError::EmptyRelation);
+        }
+        let index = GroupIndex::build(rel, cols);
+        let sizes: Vec<u64> = index.group_sizes().into_iter().map(|s| s as u64).collect();
+        Ok(GroupCensus {
+            grouping_columns: cols.to_vec(),
+            keys: index.keys().to_vec(),
+            sizes,
+            total: rel.row_count() as u64,
+            group_of_row: Some(index.group_ids().to_vec()),
+        })
+    }
+
+    /// Build a census directly from known counts — for synthetic analyses
+    /// (e.g. the Eq-7 pathological distribution) where materializing rows is
+    /// infeasible. Samples cannot be drawn from such a census.
+    pub fn from_counts(
+        grouping_columns: Vec<ColumnId>,
+        keys: Vec<GroupKey>,
+        sizes: Vec<u64>,
+    ) -> Result<GroupCensus> {
+        if keys.len() != sizes.len() {
+            return Err(CongressError::CensusMismatch(format!(
+                "{} keys vs {} sizes",
+                keys.len(),
+                sizes.len()
+            )));
+        }
+        if keys.is_empty() || sizes.contains(&0) {
+            return Err(CongressError::CensusMismatch(
+                "census requires at least one group and all sizes positive".into(),
+            ));
+        }
+        for k in &keys {
+            if k.len() != grouping_columns.len() {
+                return Err(CongressError::CensusMismatch(format!(
+                    "key arity {} vs {} grouping columns",
+                    k.len(),
+                    grouping_columns.len()
+                )));
+            }
+        }
+        let total = sizes.iter().sum();
+        Ok(GroupCensus {
+            grouping_columns,
+            keys,
+            sizes,
+            total,
+            group_of_row: None,
+        })
+    }
+
+    /// The grouping columns `G` (ids into the base relation's schema).
+    pub fn grouping_columns(&self) -> &[ColumnId] {
+        &self.grouping_columns
+    }
+
+    /// Number of grouping attributes `|G|`.
+    pub fn attribute_count(&self) -> usize {
+        self.grouping_columns.len()
+    }
+
+    /// Number of non-empty finest groups (`|𝒢|`, i.e. `m_G`).
+    pub fn group_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Finest group keys, indexed by finest group id.
+    pub fn keys(&self) -> &[GroupKey] {
+        &self.keys
+    }
+
+    /// `n_g` for each finest group.
+    pub fn sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    /// `|R|`: total number of tuples.
+    pub fn total_rows(&self) -> u64 {
+        self.total
+    }
+
+    /// Finest group id per relation row, if built from a relation.
+    pub fn group_of_row(&self) -> Option<&[u32]> {
+        self.group_of_row.as_deref()
+    }
+
+    /// Row indices of each finest group (requires a relation-built census).
+    pub fn rows_by_group(&self) -> Result<Vec<Vec<usize>>> {
+        let gor = self.group_of_row.as_ref().ok_or_else(|| {
+            CongressError::CensusMismatch("census built from counts has no row mapping".into())
+        })?;
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); self.keys.len()];
+        for (r, &g) in gor.iter().enumerate() {
+            out[g as usize].push(r);
+        }
+        Ok(out)
+    }
+
+    /// The super-group structure under grouping `T` (positions refer to
+    /// `grouping_columns` order).
+    ///
+    /// `T = ∅` yields the single all-rows group; `T = G` is the identity.
+    pub fn supergroups(&self, t: Grouping) -> SupergroupView {
+        let k = self.attribute_count();
+        debug_assert!(t.is_subset_of(Grouping::full(k)));
+
+        if t.is_empty() {
+            return SupergroupView {
+                group_count: 1,
+                supergroup_of: vec![0; self.keys.len()],
+                sizes: vec![self.total],
+            };
+        }
+        if t == Grouping::full(k) {
+            return SupergroupView {
+                group_count: self.keys.len(),
+                supergroup_of: (0..self.keys.len() as u32).collect(),
+                sizes: self.sizes.clone(),
+            };
+        }
+
+        let positions = t.positions();
+        let mut map: HashMap<GroupKey, u32> = HashMap::new();
+        let mut supergroup_of = Vec::with_capacity(self.keys.len());
+        let mut sizes: Vec<u64> = Vec::new();
+        for (g, key) in self.keys.iter().enumerate() {
+            let hkey = key.project(&positions);
+            let next = map.len() as u32;
+            let hid = *map.entry(hkey).or_insert_with(|| {
+                sizes.push(0);
+                next
+            });
+            sizes[hid as usize] += self.sizes[g];
+            supergroup_of.push(hid);
+        }
+        SupergroupView {
+            group_count: sizes.len(),
+            supergroup_of,
+            sizes,
+        }
+    }
+
+    /// `m_T` for every `T ⊆ G`, indexed by grouping bitmask. Used by the
+    /// Eq-8 per-tuple probability formula and its maintainer.
+    pub fn group_counts_per_grouping(&self) -> Vec<usize> {
+        crate::lattice::all_groupings(self.attribute_count())
+            .map(|t| self.supergroups(t).group_count)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use relation::{DataType, RelationBuilder, Value};
+
+    use super::*;
+
+    /// The paper's Figure 5 relation: groups (a1,b1)=3000, (a1,b2)=3000,
+    /// (a1,b3)=1500, (a2,b3)=2500, scaled down by `scale` to keep tests
+    /// fast (proportions preserved).
+    pub fn figure5_relation(scale: u64) -> Relation {
+        let mut b = RelationBuilder::new()
+            .column("A", DataType::Str)
+            .column("B", DataType::Str)
+            .column("q", DataType::Float);
+        let spec: [(&str, &str, u64); 4] = [
+            ("a1", "b1", 3000 / scale),
+            ("a1", "b2", 3000 / scale),
+            ("a1", "b3", 1500 / scale),
+            ("a2", "b3", 2500 / scale),
+        ];
+        let mut i = 0u64;
+        for (a, bb, n) in spec {
+            for _ in 0..n {
+                b.push_row(&[Value::str(a), Value::str(bb), Value::from(i as f64)])
+                    .unwrap();
+                i += 1;
+            }
+        }
+        b.finish()
+    }
+
+    pub fn figure5_census(scale: u64) -> GroupCensus {
+        let rel = figure5_relation(scale);
+        let cols = rel.schema().column_ids(&["A", "B"]).unwrap();
+        GroupCensus::build(&rel, &cols).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+    use relation::Value;
+
+    #[test]
+    fn builds_figure5_counts() {
+        let c = figure5_census(10);
+        assert_eq!(c.group_count(), 4);
+        assert_eq!(c.total_rows(), 1000);
+        let mut sizes = c.sizes().to_vec();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![150, 250, 300, 300]);
+        assert_eq!(c.attribute_count(), 2);
+    }
+
+    #[test]
+    fn supergroups_empty_grouping() {
+        let c = figure5_census(10);
+        let v = c.supergroups(Grouping::EMPTY);
+        assert_eq!(v.group_count, 1);
+        assert_eq!(v.sizes, vec![1000]);
+        assert!(v.supergroup_of.iter().all(|&h| h == 0));
+    }
+
+    #[test]
+    fn supergroups_full_grouping_is_identity() {
+        let c = figure5_census(10);
+        let v = c.supergroups(Grouping::full(2));
+        assert_eq!(v.group_count, 4);
+        assert_eq!(v.sizes, c.sizes());
+        for (g, &h) in v.supergroup_of.iter().enumerate() {
+            assert_eq!(g as u32, h);
+        }
+    }
+
+    #[test]
+    fn supergroups_on_a() {
+        let c = figure5_census(10);
+        // positions: A is position 0 in grouping columns
+        let v = c.supergroups(Grouping::from_positions(&[0]));
+        assert_eq!(v.group_count, 2); // a1, a2
+        let mut sizes = v.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![250, 750]); // a2 = 250, a1 = 750
+                                           // All three a1 subgroups map to the same supergroup.
+        let a1_groups: Vec<u32> = c
+            .keys()
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.values()[0] == Value::str("a1"))
+            .map(|(g, _)| v.supergroup_of[g])
+            .collect();
+        assert!(a1_groups.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn supergroups_on_b() {
+        let c = figure5_census(10);
+        let v = c.supergroups(Grouping::from_positions(&[1]));
+        assert_eq!(v.group_count, 3); // b1, b2, b3
+        let mut sizes = v.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![300, 300, 400]); // b3 = 150+250
+    }
+
+    #[test]
+    fn group_counts_per_grouping_lattice() {
+        let c = figure5_census(10);
+        let m = c.group_counts_per_grouping();
+        // masks: 0=∅, 1={A}, 2={B}, 3={A,B}
+        assert_eq!(m, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rows_by_group_round_trip() {
+        let c = figure5_census(10);
+        let rows = c.rows_by_group().unwrap();
+        assert_eq!(rows.iter().map(Vec::len).sum::<usize>(), 1000);
+        for (g, rs) in rows.iter().enumerate() {
+            assert_eq!(rs.len() as u64, c.sizes()[g]);
+        }
+    }
+
+    #[test]
+    fn from_counts_census() {
+        let keys = vec![
+            GroupKey::new(vec![Value::Int(1)]),
+            GroupKey::new(vec![Value::Int(2)]),
+        ];
+        let c = GroupCensus::from_counts(vec![ColumnId(0)], keys, vec![70, 30]).unwrap();
+        assert_eq!(c.total_rows(), 100);
+        assert!(c.group_of_row().is_none());
+        assert!(c.rows_by_group().is_err());
+    }
+
+    #[test]
+    fn from_counts_validation() {
+        let keys = vec![GroupKey::new(vec![Value::Int(1)])];
+        assert!(GroupCensus::from_counts(vec![ColumnId(0)], keys.clone(), vec![]).is_err());
+        assert!(GroupCensus::from_counts(vec![ColumnId(0)], keys.clone(), vec![0]).is_err());
+        assert!(GroupCensus::from_counts(vec![ColumnId(0)], vec![], vec![]).is_err());
+        // arity mismatch
+        assert!(GroupCensus::from_counts(vec![ColumnId(0), ColumnId(1)], keys, vec![5]).is_err());
+    }
+
+    #[test]
+    fn empty_relation_rejected() {
+        let rel = figure5_relation(10).gather(&[]);
+        let cols = rel.schema().column_ids(&["A", "B"]).unwrap();
+        assert_eq!(
+            GroupCensus::build(&rel, &cols).unwrap_err(),
+            CongressError::EmptyRelation
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! The count data cube of §6: "Given a data cube of the counts of each
+//! group in all possible groupings, the target sizes are known, and any of
+//! our biased samples can be constructed in one pass."
+//!
+//! [`CountCube`] materializes, for every grouping `T ⊆ G`, the tuple count
+//! of every non-empty group under `T`. It is built in one pass over a
+//! relation (or incrementally from an insert stream), answers point
+//! lookups (`m_T`, `n_{g(τ,T)}`) in O(1), and can be converted back into a
+//! [`GroupCensus`] for the allocation strategies — so a warehouse that
+//! already maintains a count cube (most do) never needs a second scan to
+//! build congressional samples.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use relation::{ColumnId, GroupKey, Relation};
+
+use crate::census::GroupCensus;
+use crate::error::{CongressError, Result};
+use crate::lattice::{all_groupings, Grouping};
+
+/// Materialized counts for every grouping in the lattice.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountCube {
+    grouping_columns: Vec<ColumnId>,
+    /// Per grouping mask: group key (projected) → tuple count.
+    counts: Vec<HashMap<GroupKey, u64>>,
+    total: u64,
+}
+
+impl CountCube {
+    /// Empty cube over `k` grouping attributes (columns recorded for
+    /// census conversion).
+    pub fn new(grouping_columns: Vec<ColumnId>) -> CountCube {
+        let k = grouping_columns.len();
+        CountCube {
+            grouping_columns,
+            counts: vec![HashMap::new(); 1 << k],
+            total: 0,
+        }
+    }
+
+    /// Build the cube in one pass over `rel`.
+    pub fn build(rel: &Relation, cols: &[ColumnId]) -> Result<CountCube> {
+        for &c in cols {
+            rel.schema().field(c)?;
+        }
+        let mut cube = CountCube::new(cols.to_vec());
+        for r in 0..rel.row_count() {
+            let key = GroupKey::from_row(rel, r, cols);
+            cube.insert(&key);
+        }
+        Ok(cube)
+    }
+
+    /// Fold in one tuple's finest-grouping key (the incremental-maintenance
+    /// path: the cube stays current as the warehouse grows).
+    pub fn insert(&mut self, key: &GroupKey) {
+        debug_assert_eq!(key.len(), self.grouping_columns.len());
+        self.total += 1;
+        for (ti, t) in all_groupings(self.grouping_columns.len()).enumerate() {
+            let proj = key.project(&t.positions());
+            *self.counts[ti].entry(proj).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of grouping attributes `|G|`.
+    pub fn attribute_count(&self) -> usize {
+        self.grouping_columns.len()
+    }
+
+    /// Total tuples folded in.
+    pub fn total_rows(&self) -> u64 {
+        self.total
+    }
+
+    /// `m_T`: the number of non-empty groups under grouping `t`.
+    pub fn group_count(&self, t: Grouping) -> usize {
+        self.counts[t.0 as usize].len()
+    }
+
+    /// `n_h`: the count of the group that `finest_key` belongs to under
+    /// grouping `t` (0 if the group is empty).
+    pub fn count_of(&self, t: Grouping, finest_key: &GroupKey) -> u64 {
+        let proj = finest_key.project(&t.positions());
+        self.counts[t.0 as usize].get(&proj).copied().unwrap_or(0)
+    }
+
+    /// The cuboid for grouping `t`: every non-empty group and its count.
+    pub fn cuboid(&self, t: Grouping) -> &HashMap<GroupKey, u64> {
+        &self.counts[t.0 as usize]
+    }
+
+    /// Convert the finest cuboid into a [`GroupCensus`] for the allocation
+    /// strategies. (The census recomputes coarser cuboids by projection —
+    /// identical numbers, verified by tests.)
+    pub fn to_census(&self) -> Result<GroupCensus> {
+        let finest = &self.counts[self.counts.len() - 1];
+        if finest.is_empty() {
+            return Err(CongressError::EmptyRelation);
+        }
+        let mut keys: Vec<GroupKey> = finest.keys().cloned().collect();
+        keys.sort();
+        let sizes: Vec<u64> = keys.iter().map(|k| finest[k]).collect();
+        GroupCensus::from_counts(self.grouping_columns.clone(), keys, sizes)
+    }
+
+    /// Consistency check: every cuboid must sum to the total, and coarser
+    /// cuboids must equal the projections of the finest one.
+    pub fn verify(&self) -> Result<()> {
+        let k = self.attribute_count();
+        let finest = &self.counts[(1usize << k) - 1];
+        for t in all_groupings(k) {
+            let cuboid = &self.counts[t.0 as usize];
+            let sum: u64 = cuboid.values().sum();
+            if sum != self.total {
+                return Err(CongressError::CensusMismatch(format!(
+                    "cuboid {t:?} sums to {sum}, cube total is {}",
+                    self.total
+                )));
+            }
+            let mut reproj: HashMap<GroupKey, u64> = HashMap::new();
+            for (key, &n) in finest {
+                *reproj.entry(key.project(&t.positions())).or_insert(0) += n;
+            }
+            if &reproj != cuboid {
+                return Err(CongressError::CensusMismatch(format!(
+                    "cuboid {t:?} disagrees with the finest cuboid's projection"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{AllocationStrategy, Congress};
+    use crate::census::test_support::{figure5_census, figure5_relation};
+    use relation::Value;
+
+    fn cube() -> CountCube {
+        let rel = figure5_relation(10);
+        let cols = rel.schema().column_ids(&["A", "B"]).unwrap();
+        CountCube::build(&rel, &cols).unwrap()
+    }
+
+    #[test]
+    fn counts_match_figure5() {
+        let c = cube();
+        assert_eq!(c.total_rows(), 1000);
+        assert_eq!(c.group_count(Grouping::EMPTY), 1);
+        assert_eq!(c.group_count(Grouping::from_positions(&[0])), 2); // A
+        assert_eq!(c.group_count(Grouping::from_positions(&[1])), 3); // B
+        assert_eq!(c.group_count(Grouping::full(2)), 4);
+        let a1b3 = GroupKey::new(vec![Value::str("a1"), Value::str("b3")]);
+        assert_eq!(c.count_of(Grouping::full(2), &a1b3), 150);
+        // Its supergroup under {B} is b3 with 150 + 250.
+        assert_eq!(c.count_of(Grouping::from_positions(&[1]), &a1b3), 400);
+        // Under ∅ every key maps to the whole relation.
+        assert_eq!(c.count_of(Grouping::EMPTY, &a1b3), 1000);
+        // Unknown groups count zero.
+        let nope = GroupKey::new(vec![Value::str("zz"), Value::str("b3")]);
+        assert_eq!(c.count_of(Grouping::full(2), &nope), 0);
+    }
+
+    #[test]
+    fn verify_accepts_consistent_cube() {
+        assert!(cube().verify().is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_tampering() {
+        let mut c = cube();
+        // Corrupt one cuboid.
+        let t = Grouping::from_positions(&[0]);
+        let key = GroupKey::new(vec![Value::str("a1")]);
+        *c.counts[t.0 as usize].get_mut(&key).unwrap() += 1;
+        assert!(c.verify().is_err());
+    }
+
+    #[test]
+    fn census_conversion_round_trips() {
+        let from_cube = cube().to_census().unwrap();
+        let direct = figure5_census(10);
+        assert_eq!(from_cube.group_count(), direct.group_count());
+        assert_eq!(from_cube.total_rows(), direct.total_rows());
+        // Same allocation from either source.
+        let a = Congress.allocate(&from_cube, 100.0).unwrap();
+        let b = Congress.allocate(&direct, 100.0).unwrap();
+        let mut at = a.targets().to_vec();
+        let mut bt = b.targets().to_vec();
+        at.sort_by(f64::total_cmp);
+        bt.sort_by(f64::total_cmp);
+        for (x, y) in at.iter().zip(&bt) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_bulk() {
+        let rel = figure5_relation(10);
+        let cols = rel.schema().column_ids(&["A", "B"]).unwrap();
+        let bulk = CountCube::build(&rel, &cols).unwrap();
+        let mut inc = CountCube::new(cols.clone());
+        for r in 0..rel.row_count() {
+            inc.insert(&GroupKey::from_row(&rel, r, &cols));
+        }
+        assert_eq!(inc.total_rows(), bulk.total_rows());
+        for t in all_groupings(2) {
+            assert_eq!(inc.cuboid(t), bulk.cuboid(t));
+        }
+    }
+
+    #[test]
+    fn empty_cube_rejects_census() {
+        let c = CountCube::new(vec![ColumnId(0)]);
+        assert!(c.to_census().is_err());
+        assert_eq!(c.total_rows(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the congress crate.
+
+use std::fmt;
+
+use engine::EngineError;
+use relation::RelationError;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CongressError>;
+
+/// Errors produced by census construction, allocation, and sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CongressError {
+    /// Underlying storage/schema error.
+    Relation(RelationError),
+    /// Underlying engine error.
+    Engine(EngineError),
+    /// The requested sample space was not positive.
+    InvalidSpace(f64),
+    /// A census was used with a relation it was not built from.
+    CensusMismatch(String),
+    /// The relation has no rows to sample.
+    EmptyRelation,
+    /// A workload/criteria specification was malformed.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for CongressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CongressError::Relation(e) => write!(f, "relation error: {e}"),
+            CongressError::Engine(e) => write!(f, "engine error: {e}"),
+            CongressError::InvalidSpace(x) => {
+                write!(f, "sample space must be positive, got {x}")
+            }
+            CongressError::CensusMismatch(m) => write!(f, "census mismatch: {m}"),
+            CongressError::EmptyRelation => write!(f, "cannot sample an empty relation"),
+            CongressError::InvalidSpec(m) => write!(f, "invalid specification: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CongressError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CongressError::Relation(e) => Some(e),
+            CongressError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for CongressError {
+    fn from(e: RelationError) -> Self {
+        CongressError::Relation(e)
+    }
+}
+
+impl From<EngineError> for CongressError {
+    fn from(e: EngineError) -> Self {
+        CongressError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CongressError = RelationError::UnknownColumn("c".into()).into();
+        assert!(e.to_string().contains("c"));
+        let e: CongressError = EngineError::NoAggregates.into();
+        assert!(e.to_string().contains("engine"));
+        assert!(CongressError::InvalidSpace(-1.0).to_string().contains("-1"));
+        assert!(std::error::Error::source(&CongressError::EmptyRelation).is_none());
+    }
+}

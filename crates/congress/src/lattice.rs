@@ -1,0 +1,125 @@
+//! The grouping lattice: subsets `T ⊆ G` of the grouping attributes.
+//!
+//! A grouping over `|G| = k` attributes is represented as a bitmask over
+//! attribute *positions* `0..k` (position order matches the census's
+//! grouping-column order). The paper's Congress strategy (§4.6) maximizes
+//! over all `2^k` subsets; §6's Eq-8 maintainer keeps `m_T`/`n_g` counters
+//! per subset.
+
+use serde::{Deserialize, Serialize};
+
+/// A subset of grouping-attribute positions, as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Grouping(pub u32);
+
+impl Grouping {
+    /// The empty grouping `∅` (no group-by).
+    pub const EMPTY: Grouping = Grouping(0);
+
+    /// The full grouping over `k` attributes.
+    pub fn full(k: usize) -> Grouping {
+        assert!(k <= 31, "at most 31 grouping attributes supported");
+        Grouping(((1u64 << k) - 1) as u32)
+    }
+
+    /// Grouping containing exactly the given positions.
+    pub fn from_positions(positions: &[usize]) -> Grouping {
+        let mut m = 0u32;
+        for &p in positions {
+            assert!(p < 31, "grouping position out of range");
+            m |= 1 << p;
+        }
+        Grouping(m)
+    }
+
+    /// The attribute positions in this grouping, ascending.
+    pub fn positions(self) -> Vec<usize> {
+        (0..32).filter(|&i| self.0 & (1 << i) != 0).collect()
+    }
+
+    /// Number of attributes (`|T|`).
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether this is the empty grouping.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(self, other: Grouping) -> bool {
+        self.0 & other.0 == self.0
+    }
+
+    /// Whether `self` contains attribute position `p`.
+    pub fn contains(self, p: usize) -> bool {
+        self.0 & (1 << p) != 0
+    }
+}
+
+/// All `2^k` subsets of the full grouping over `k` attributes, in
+/// ascending-mask order (so `∅` first, full grouping last).
+pub fn all_groupings(k: usize) -> impl Iterator<Item = Grouping> {
+    assert!(k <= 20, "2^k groupings would be excessive beyond k = 20");
+    (0u32..(1u32 << k)).map(Grouping)
+}
+
+/// All subsets ordered by size then mask — the iteration order of the
+/// paper's incremental Congress pseudocode (`for i = 0, 1, ..., |G|`).
+pub fn groupings_by_size(k: usize) -> Vec<Grouping> {
+    let mut v: Vec<Grouping> = all_groupings(k).collect();
+    v.sort_by_key(|g| (g.len(), g.0));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_and_empty() {
+        assert_eq!(Grouping::full(3).0, 0b111);
+        assert_eq!(Grouping::EMPTY.len(), 0);
+        assert!(Grouping::EMPTY.is_empty());
+        assert!(!Grouping::full(1).is_empty());
+    }
+
+    #[test]
+    fn positions_round_trip() {
+        let g = Grouping::from_positions(&[0, 2]);
+        assert_eq!(g.positions(), vec![0, 2]);
+        assert_eq!(g.len(), 2);
+        assert!(g.contains(0) && !g.contains(1) && g.contains(2));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = Grouping::from_positions(&[0]);
+        let ab = Grouping::from_positions(&[0, 1]);
+        assert!(a.is_subset_of(ab));
+        assert!(!ab.is_subset_of(a));
+        assert!(Grouping::EMPTY.is_subset_of(a));
+        assert!(a.is_subset_of(a));
+    }
+
+    #[test]
+    fn enumeration_counts() {
+        assert_eq!(all_groupings(3).count(), 8);
+        assert_eq!(all_groupings(0).count(), 1);
+        let by_size = groupings_by_size(3);
+        assert_eq!(by_size.len(), 8);
+        assert_eq!(by_size[0], Grouping::EMPTY);
+        assert_eq!(by_size[7], Grouping::full(3));
+        // sizes are non-decreasing
+        for w in by_size.windows(2) {
+            assert!(w[0].len() <= w[1].len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 31")]
+    fn full_rejects_wide() {
+        let _ = Grouping::full(32);
+    }
+}

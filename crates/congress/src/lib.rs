@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Congressional samples: biased sampling for approximate group-by answers.
+//!
+//! This crate implements the core contribution of *"Congressional Samples
+//! for Approximate Answering of Group-By Queries"* (Acharya, Gibbons,
+//! Poosala — SIGMOD 2000):
+//!
+//! * **Census** ([`census::GroupCensus`]) — the per-group counts `n_g` at
+//!   the finest grouping `G` and, for every `T ⊆ G`, the super-group
+//!   structure (`m_T`, `n_h`) that the allocation formulas need. This is
+//!   the "data cube of the counts of each group in all possible groupings"
+//!   of §6.
+//! * **Allocation strategies** (§4) — [`alloc::House`], [`alloc::Senate`],
+//!   [`alloc::BasicCongress`], [`alloc::Congress`], the workload-weighted
+//!   variant of §4.7 ([`alloc::WorkloadWeighted`]), and the §8
+//!   multi-criteria weight-vector framework ([`alloc::criteria`]).
+//! * **Sampling & construction** (§6) — per-group reservoir sampling
+//!   ([`build::Reservoir`]), cube-based construction
+//!   ([`build::construct_with_census`]), and one-pass incremental
+//!   maintainers for House/Senate ([`build::SenateMaintainer`],
+//!   [`build::HouseMaintainer`]), Basic Congress
+//!   ([`build::BasicCongressMaintainer`], Theorem 6.1) and Congress
+//!   ([`build::CongressMaintainer`], the Eq-8 probability scheme).
+//! * **Estimation & bounds** — conversion of a sample into the engine's
+//!   [`engine::StratifiedInput`] ([`sample::CongressionalSample`]),
+//!   plus standard-error / Hoeffding / Chebyshev error bounds
+//!   ([`bounds`]) matching Eq 2 and the Aqua error-bound machinery.
+//! * **Error metrics** ([`metrics`]) — the ε∞ / εL1 / εL2 group-by error
+//!   norms of Definition 3.1, used by every accuracy experiment.
+
+pub mod alloc;
+pub mod bounds;
+pub mod build;
+pub mod census;
+pub mod cube;
+pub mod error;
+pub mod lattice;
+pub mod metrics;
+pub mod sample;
+pub mod snapshot;
+
+pub use alloc::{Allocation, AllocationStrategy, BasicCongress, Congress, House, Senate};
+pub use census::GroupCensus;
+pub use cube::CountCube;
+pub use error::{CongressError, Result};
+pub use metrics::{compare_results, mac_error, GroupByErrorReport};
+pub use sample::CongressionalSample;

@@ -1,0 +1,262 @@
+//! Group-by error metrics (Definition 3.1).
+//!
+//! The error of a group `g_i` is the percentage relative error
+//! `ε_i = |c_i − c'_i| / c_i × 100` (Eq 1); the error of the whole
+//! group-by answer is the `L∞`, `L1`, or `L2` norm of the per-group
+//! errors. Groups present in the exact answer but missing from the
+//! approximate one (no sampled tuple survived the predicate) violate the
+//! paper's first user requirement and are charged a configurable penalty
+//! (100% by default).
+
+use serde::{Deserialize, Serialize};
+
+use engine::QueryResult;
+use relation::GroupKey;
+
+/// Per-group and aggregate error of an approximate group-by answer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupByErrorReport {
+    /// Percentage relative error per exact-answer group (missing groups
+    /// carry the penalty).
+    pub per_group: Vec<(GroupKey, f64)>,
+    /// Number of exact-answer groups absent from the approximate answer.
+    pub missing_groups: usize,
+    /// Number of spurious groups in the approximate answer that the exact
+    /// answer does not contain (possible only through bugs — the sample is
+    /// a subset of the data — so tests assert this stays 0).
+    pub spurious_groups: usize,
+}
+
+impl GroupByErrorReport {
+    /// `ε∞`: worst per-group error.
+    pub fn l_inf(&self) -> f64 {
+        self.per_group.iter().map(|(_, e)| *e).fold(0.0, f64::max)
+    }
+
+    /// `εL1`: mean per-group error.
+    pub fn l1(&self) -> f64 {
+        if self.per_group.is_empty() {
+            return 0.0;
+        }
+        self.per_group.iter().map(|(_, e)| *e).sum::<f64>() / self.per_group.len() as f64
+    }
+
+    /// `εL2`: root-mean-square per-group error.
+    pub fn l2(&self) -> f64 {
+        if self.per_group.is_empty() {
+            return 0.0;
+        }
+        let ss: f64 = self.per_group.iter().map(|(_, e)| e * e).sum();
+        (ss / self.per_group.len() as f64).sqrt()
+    }
+
+    /// Number of groups in the exact answer.
+    pub fn group_count(&self) -> usize {
+        self.per_group.len()
+    }
+}
+
+/// Percentage relative error of one estimate (Eq 1). When the exact value
+/// is zero, any exact match is 0% and any miss is charged the penalty —
+/// relative error is undefined at zero and this matches how the
+/// experimental literature treats it.
+pub fn relative_error_pct(exact: f64, approx: f64, zero_penalty: f64) -> f64 {
+    if exact == 0.0 {
+        return if approx == 0.0 { 0.0 } else { zero_penalty };
+    }
+    ((exact - approx) / exact).abs() * 100.0
+}
+
+/// Compare an approximate answer against the exact one on the aggregate at
+/// `agg_index`, charging `missing_penalty` percent for exact-answer groups
+/// the approximation failed to produce.
+pub fn compare_results(
+    exact: &QueryResult,
+    approx: &QueryResult,
+    agg_index: usize,
+    missing_penalty: f64,
+) -> GroupByErrorReport {
+    let approx_by_key = approx.by_key();
+    let mut per_group = Vec::with_capacity(exact.group_count());
+    let mut missing = 0usize;
+    for (key, evals) in exact.iter() {
+        match approx_by_key.get(key) {
+            Some(avals) => {
+                let e = relative_error_pct(evals[agg_index], avals[agg_index], missing_penalty);
+                per_group.push((key.clone(), e));
+            }
+            None => {
+                missing += 1;
+                per_group.push((key.clone(), missing_penalty));
+            }
+        }
+    }
+    let exact_by_key = exact.by_key();
+    let spurious = approx
+        .iter()
+        .filter(|(k, _)| !exact_by_key.contains_key(*k))
+        .count();
+    GroupByErrorReport {
+        per_group,
+        missing_groups: missing,
+        spurious_groups: spurious,
+    }
+}
+
+/// The MAC-style error of \[IP99\], which §3.2 discusses and rejects for
+/// group-by answers: match each approximate aggregate value to the
+/// *closest* exact value (greedy, by absolute difference) and average the
+/// matched differences — ignoring group identity entirely.
+///
+/// Provided for comparison: the paper's criticism is that MAC "does not
+/// necessarily match corresponding groups in the two answers", so an
+/// answer that permutes group labels scores perfectly. The test
+/// `mac_blind_to_group_identity` demonstrates exactly that failure, which
+/// is why [`compare_results`] keys by group instead.
+pub fn mac_error(exact: &QueryResult, approx: &QueryResult, agg_index: usize) -> f64 {
+    let mut evals: Vec<f64> = exact.rows().iter().map(|(_, v)| v[agg_index]).collect();
+    let avals: Vec<f64> = approx.rows().iter().map(|(_, v)| v[agg_index]).collect();
+    if evals.is_empty() && avals.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut matched = 0usize;
+    for &a in &avals {
+        if evals.is_empty() {
+            break;
+        }
+        // Greedy closest-pair matching.
+        let (best_i, best_d) = evals
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (i, (e - a).abs()))
+            .min_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("non-empty");
+        total += best_d;
+        evals.swap_remove(best_i);
+        matched += 1;
+    }
+    // Unmatched values on either side contribute their magnitude.
+    let leftovers: f64 = evals.iter().map(|e| e.abs()).sum::<f64>()
+        + avals[matched..].iter().map(|a| a.abs()).sum::<f64>();
+    (total + leftovers) / (matched + evals.len() + avals.len() - matched).max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::Value;
+
+    fn key(s: &str) -> GroupKey {
+        GroupKey::new(vec![Value::str(s)])
+    }
+
+    fn result(rows: &[(&str, f64)]) -> QueryResult {
+        QueryResult::new(
+            vec!["s".into()],
+            rows.iter().map(|(k, v)| (key(k), vec![*v])).collect(),
+        )
+    }
+
+    #[test]
+    fn relative_error_basic() {
+        assert_eq!(relative_error_pct(100.0, 90.0, 100.0), 10.0);
+        assert_eq!(relative_error_pct(100.0, 110.0, 100.0), 10.0);
+        assert_eq!(relative_error_pct(-50.0, -55.0, 100.0), 10.0);
+        assert_eq!(relative_error_pct(0.0, 0.0, 100.0), 0.0);
+        assert_eq!(relative_error_pct(0.0, 5.0, 100.0), 100.0);
+    }
+
+    #[test]
+    fn compare_matching_groups() {
+        let exact = result(&[("a", 100.0), ("b", 200.0)]);
+        let approx = result(&[("a", 110.0), ("b", 190.0)]);
+        let r = compare_results(&exact, &approx, 0, 100.0);
+        assert_eq!(r.missing_groups, 0);
+        assert_eq!(r.spurious_groups, 0);
+        assert!((r.l1() - 7.5).abs() < 1e-12); // (10 + 5) / 2
+        assert!((r.l_inf() - 10.0).abs() < 1e-12);
+        let l2_expect = ((100.0 + 25.0) / 2.0f64).sqrt();
+        assert!((r.l2() - l2_expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_groups_penalized() {
+        let exact = result(&[("a", 100.0), ("b", 200.0), ("c", 5.0)]);
+        let approx = result(&[("a", 100.0)]);
+        let r = compare_results(&exact, &approx, 0, 100.0);
+        assert_eq!(r.missing_groups, 2);
+        assert_eq!(r.l_inf(), 100.0);
+        assert!((r.l1() - (0.0 + 100.0 + 100.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spurious_groups_counted() {
+        let exact = result(&[("a", 100.0)]);
+        let approx = result(&[("a", 100.0), ("zz", 7.0)]);
+        let r = compare_results(&exact, &approx, 0, 100.0);
+        assert_eq!(r.spurious_groups, 1);
+        assert_eq!(r.missing_groups, 0);
+    }
+
+    #[test]
+    fn norms_order_l1_le_l2_le_linf() {
+        let exact = result(&[("a", 100.0), ("b", 100.0), ("c", 100.0)]);
+        let approx = result(&[("a", 99.0), ("b", 80.0), ("c", 100.0)]);
+        let r = compare_results(&exact, &approx, 0, 100.0);
+        assert!(r.l1() <= r.l2() + 1e-12);
+        assert!(r.l2() <= r.l_inf() + 1e-12);
+    }
+
+    #[test]
+    fn multi_aggregate_index() {
+        let exact = QueryResult::new(
+            vec!["s".into(), "c".into()],
+            vec![(key("a"), vec![100.0, 10.0])],
+        );
+        let approx = QueryResult::new(
+            vec!["s".into(), "c".into()],
+            vec![(key("a"), vec![100.0, 12.0])],
+        );
+        let r0 = compare_results(&exact, &approx, 0, 100.0);
+        assert_eq!(r0.l1(), 0.0);
+        let r1 = compare_results(&exact, &approx, 1, 100.0);
+        assert!((r1.l1() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mac_blind_to_group_identity() {
+        // The §3.2 criticism, concretely: swap two groups' aggregates.
+        // MAC scores the permuted answer as PERFECT; the per-group metric
+        // correctly reports large errors.
+        let exact = result(&[("a", 100.0), ("b", 500.0)]);
+        let permuted = result(&[("a", 500.0), ("b", 100.0)]);
+        assert_eq!(mac_error(&exact, &permuted, 0), 0.0);
+        let proper = compare_results(&exact, &permuted, 0, 100.0);
+        assert!(proper.l_inf() > 300.0, "per-group metric sees the swap");
+    }
+
+    #[test]
+    fn mac_basic_and_unmatched() {
+        let exact = result(&[("a", 100.0)]);
+        let approx = result(&[("a", 110.0)]);
+        assert!((mac_error(&exact, &approx, 0) - 10.0).abs() < 1e-12);
+        // Extra approximate group contributes its magnitude.
+        let approx2 = result(&[("a", 100.0), ("zz", 50.0)]);
+        assert!(mac_error(&exact, &approx2, 0) > 0.0);
+        // Missing approximate group likewise.
+        let empty = QueryResult::new(vec!["s".into()], vec![]);
+        assert!(mac_error(&exact, &empty, 0) > 0.0);
+        assert_eq!(mac_error(&empty, &empty, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_results() {
+        let empty = QueryResult::new(vec!["s".into()], vec![]);
+        let r = compare_results(&empty, &empty, 0, 100.0);
+        assert_eq!(r.group_count(), 0);
+        assert_eq!(r.l1(), 0.0);
+        assert_eq!(r.l2(), 0.0);
+        assert_eq!(r.l_inf(), 0.0);
+    }
+}

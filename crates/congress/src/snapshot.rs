@@ -1,0 +1,296 @@
+//! Compact binary persistence for congressional samples.
+//!
+//! Aqua stores its synopses durably ("stored as regular relations in the
+//! DBMS", §2) so they survive restarts and can be shipped between the
+//! warehouse and the middleware. This module provides an equivalent for
+//! this workspace: a versioned, length-prefixed binary encoding of a
+//! [`CongressionalSample`] built on [`bytes`]. The encoding stores row
+//! *indices* (not tuples), so a snapshot is small — the base relation is
+//! re-joined at load time by [`CongressionalSample::to_stratified_input`].
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use relation::{ColumnId, GroupKey, Value};
+
+use crate::error::{CongressError, Result};
+use crate::sample::CongressionalSample;
+
+/// Format magic: `b"CGRS"`.
+const MAGIC: u32 = 0x4347_5253;
+/// Current format version.
+const VERSION: u16 = 1;
+
+/// Value type tags.
+const TAG_INT: u8 = 0;
+const TAG_FLOAT: u8 = 1;
+const TAG_STR: u8 = 2;
+const TAG_DATE: u8 = 3;
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Int(x) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64(*x);
+        }
+        Value::Float(x) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64(x.get());
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            let b = s.as_bytes();
+            buf.put_u32(b.len() as u32);
+            buf.put_slice(b);
+        }
+        Value::Date(d) => {
+            buf.put_u8(TAG_DATE);
+            buf.put_i32(*d);
+        }
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> Result<Value> {
+    let corrupt = |what: &str| CongressError::InvalidSpec(format!("corrupt snapshot: {what}"));
+    if buf.remaining() < 1 {
+        return Err(corrupt("truncated value tag"));
+    }
+    match buf.get_u8() {
+        TAG_INT => {
+            if buf.remaining() < 8 {
+                return Err(corrupt("truncated int"));
+            }
+            Ok(Value::Int(buf.get_i64()))
+        }
+        TAG_FLOAT => {
+            if buf.remaining() < 8 {
+                return Err(corrupt("truncated float"));
+            }
+            Ok(Value::from(buf.get_f64()))
+        }
+        TAG_STR => {
+            if buf.remaining() < 4 {
+                return Err(corrupt("truncated string length"));
+            }
+            let len = buf.get_u32() as usize;
+            if buf.remaining() < len {
+                return Err(corrupt("truncated string body"));
+            }
+            let bytes = buf.copy_to_bytes(len);
+            let s = std::str::from_utf8(&bytes).map_err(|_| corrupt("invalid utf-8"))?;
+            Ok(Value::str(s))
+        }
+        TAG_DATE => {
+            if buf.remaining() < 4 {
+                return Err(corrupt("truncated date"));
+            }
+            Ok(Value::Date(buf.get_i32()))
+        }
+        t => Err(corrupt(&format!("unknown value tag {t}"))),
+    }
+}
+
+/// Serialize a sample to its binary snapshot form.
+pub fn encode(sample: &CongressionalSample) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + sample.total_sampled() * 8);
+    buf.put_u32(MAGIC);
+    buf.put_u16(VERSION);
+
+    let name = sample.strategy_name().as_bytes();
+    buf.put_u16(name.len() as u16);
+    buf.put_slice(name);
+
+    buf.put_u16(sample.grouping_columns().len() as u16);
+    for c in sample.grouping_columns() {
+        buf.put_u32(c.index() as u32);
+    }
+
+    buf.put_u32(sample.stratum_count() as u32);
+    for g in 0..sample.stratum_count() {
+        let key = &sample.strata_keys()[g];
+        buf.put_u16(key.len() as u16);
+        for v in key.values() {
+            put_value(&mut buf, v);
+        }
+        buf.put_u64(sample.group_sizes()[g]);
+        let rows = &sample.sampled_rows()[g];
+        buf.put_u32(rows.len() as u32);
+        for &r in rows {
+            buf.put_u64(r as u64);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize a snapshot produced by [`encode`].
+pub fn decode(mut buf: Bytes) -> Result<CongressionalSample> {
+    let corrupt = |what: &str| CongressError::InvalidSpec(format!("corrupt snapshot: {what}"));
+    if buf.remaining() < 6 {
+        return Err(corrupt("header too short"));
+    }
+    if buf.get_u32() != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(CongressError::InvalidSpec(format!(
+            "unsupported snapshot version {version} (expected {VERSION})"
+        )));
+    }
+
+    if buf.remaining() < 2 {
+        return Err(corrupt("truncated strategy name"));
+    }
+    let name_len = buf.get_u16() as usize;
+    if buf.remaining() < name_len {
+        return Err(corrupt("truncated strategy name body"));
+    }
+    let name_bytes = buf.copy_to_bytes(name_len);
+    let name = std::str::from_utf8(&name_bytes)
+        .map_err(|_| corrupt("strategy name not utf-8"))?
+        .to_string();
+
+    if buf.remaining() < 2 {
+        return Err(corrupt("truncated grouping column count"));
+    }
+    let ncols = buf.get_u16() as usize;
+    let mut cols = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        if buf.remaining() < 4 {
+            return Err(corrupt("truncated grouping column"));
+        }
+        cols.push(ColumnId(buf.get_u32() as usize));
+    }
+
+    if buf.remaining() < 4 {
+        return Err(corrupt("truncated stratum count"));
+    }
+    let strata = buf.get_u32() as usize;
+    let mut keys = Vec::with_capacity(strata);
+    let mut sizes = Vec::with_capacity(strata);
+    let mut rows = Vec::with_capacity(strata);
+    for _ in 0..strata {
+        if buf.remaining() < 2 {
+            return Err(corrupt("truncated key arity"));
+        }
+        let arity = buf.get_u16() as usize;
+        let mut vals = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            vals.push(get_value(&mut buf)?);
+        }
+        keys.push(GroupKey::new(vals));
+        if buf.remaining() < 12 {
+            return Err(corrupt("truncated stratum header"));
+        }
+        sizes.push(buf.get_u64());
+        let n = buf.get_u32() as usize;
+        if buf.remaining() < n * 8 {
+            return Err(corrupt("truncated row list"));
+        }
+        let mut rs = Vec::with_capacity(n);
+        for _ in 0..n {
+            rs.push(buf.get_u64() as usize);
+        }
+        rows.push(rs);
+    }
+    if buf.has_remaining() {
+        return Err(corrupt("trailing bytes"));
+    }
+    CongressionalSample::from_parts(cols, keys, sizes, rows, name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::Congress;
+    use crate::census::test_support::{figure5_census, figure5_relation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> CongressionalSample {
+        let rel = figure5_relation(10);
+        let census = figure5_census(10);
+        let mut rng = StdRng::seed_from_u64(12);
+        CongressionalSample::draw(&rel, &census, &Congress, 80.0, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let s = sample();
+        let bytes = encode(&s);
+        let back = decode(bytes).unwrap();
+        assert_eq!(back.strategy_name(), s.strategy_name());
+        assert_eq!(back.grouping_columns(), s.grouping_columns());
+        assert_eq!(back.strata_keys(), s.strata_keys());
+        assert_eq!(back.group_sizes(), s.group_sizes());
+        assert_eq!(back.sampled_rows(), s.sampled_rows());
+    }
+
+    #[test]
+    fn round_trip_through_stratified_input() {
+        let rel = figure5_relation(10);
+        let s = sample();
+        let back = decode(encode(&s)).unwrap();
+        let a = s.to_stratified_input(&rel).unwrap();
+        let b = back.to_stratified_input(&rel).unwrap();
+        assert_eq!(a.scale_factors, b.scale_factors);
+        assert_eq!(a.stratum_of_row, b.stratum_of_row);
+        assert_eq!(a.rows.row_count(), b.rows.row_count());
+    }
+
+    #[test]
+    fn snapshot_is_compact() {
+        let s = sample();
+        let bytes = encode(&s);
+        // ~8 bytes per sampled row id + key/header overhead; far below
+        // materializing the tuples themselves.
+        assert!(bytes.len() < 64 + s.total_sampled() * 8 + s.stratum_count() * 64);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let s = sample();
+        let mut raw = encode(&s).to_vec();
+        raw[0] ^= 0xFF;
+        assert!(decode(Bytes::from(raw.clone())).is_err());
+        let mut raw = encode(&s).to_vec();
+        raw[5] = 99; // version
+        assert!(decode(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let s = sample();
+        let full = encode(&s);
+        for cut in [0, 3, 6, 10, full.len() / 2, full.len() - 1] {
+            let truncated = full.slice(0..cut);
+            assert!(decode(truncated).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let s = sample();
+        let mut raw = encode(&s).to_vec();
+        raw.push(0);
+        assert!(decode(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn all_value_types_round_trip() {
+        let mut buf = BytesMut::new();
+        let vals = [
+            Value::Int(-42),
+            Value::from(1.5),
+            Value::str("héllo"),
+            Value::Date(12345),
+        ];
+        for v in &vals {
+            put_value(&mut buf, v);
+        }
+        let mut bytes = buf.freeze();
+        for v in &vals {
+            assert_eq!(&get_value(&mut bytes).unwrap(), v);
+        }
+        assert!(!bytes.has_remaining());
+    }
+}

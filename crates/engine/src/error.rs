@@ -1,0 +1,77 @@
+//! Engine error type.
+
+use std::fmt;
+
+use relation::RelationError;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Errors produced while planning or executing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Underlying storage/schema error.
+    Relation(RelationError),
+    /// A query referenced no aggregates.
+    NoAggregates,
+    /// An aggregate needed an expression but none was supplied (or vice versa).
+    MalformedAggregate(&'static str),
+    /// Stratified input was internally inconsistent.
+    InvalidStratifiedInput(String),
+    /// A join key column was missing from one side.
+    JoinKeyMismatch(String),
+    /// SQL text could not be tokenized or parsed.
+    Sql(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Relation(e) => write!(f, "relation error: {e}"),
+            EngineError::NoAggregates => write!(f, "query has no aggregates"),
+            EngineError::MalformedAggregate(m) => write!(f, "malformed aggregate: {m}"),
+            EngineError::InvalidStratifiedInput(m) => {
+                write!(f, "invalid stratified input: {m}")
+            }
+            EngineError::JoinKeyMismatch(m) => write!(f, "join key mismatch: {m}"),
+            EngineError::Sql(m) => write!(f, "SQL error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for EngineError {
+    fn from(e: RelationError) -> Self {
+        EngineError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_relation_errors() {
+        let e: EngineError = RelationError::UnknownColumn("x".into()).into();
+        assert!(e.to_string().contains("x"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(EngineError::NoAggregates
+            .to_string()
+            .contains("no aggregates"));
+        assert!(EngineError::JoinKeyMismatch("gid".into())
+            .to_string()
+            .contains("gid"));
+    }
+}

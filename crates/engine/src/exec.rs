@@ -1,0 +1,239 @@
+//! Exact query execution via hash aggregation.
+
+use relation::Relation;
+
+use crate::aggregate::Accumulator;
+use crate::error::Result;
+use crate::grouping::GroupIndex;
+use crate::query::GroupByQuery;
+use crate::result::QueryResult;
+
+/// Execute `query` exactly over `rel` with a single hash-aggregation pass.
+///
+/// This produces the ground truth that the paper's error metrics (Def 3.1)
+/// compare approximate answers against. Groups with no qualifying rows do
+/// not appear in the output (matching SQL GROUP BY semantics); a scalar
+/// query over zero qualifying rows yields an empty result rather than a
+/// NULL row.
+///
+/// ```
+/// use engine::{execute_exact, AggregateSpec, GroupByQuery};
+/// use relation::{ColumnId, DataType, Expr, RelationBuilder, Value};
+///
+/// let mut b = RelationBuilder::new()
+///     .column("g", DataType::Str)
+///     .column("v", DataType::Float);
+/// b.push_row(&[Value::str("a"), Value::from(1.0)]).unwrap();
+/// b.push_row(&[Value::str("a"), Value::from(2.0)]).unwrap();
+/// b.push_row(&[Value::str("b"), Value::from(5.0)]).unwrap();
+/// let rel = b.finish();
+///
+/// let q = GroupByQuery::new(
+///     vec![ColumnId(0)],
+///     vec![AggregateSpec::sum(Expr::col(ColumnId(1)), "s")],
+/// );
+/// let result = execute_exact(&rel, &q).unwrap();
+/// assert_eq!(result.group_count(), 2);
+/// ```
+pub fn execute_exact(rel: &Relation, query: &GroupByQuery) -> Result<QueryResult> {
+    query.validate(rel)?;
+
+    let mask = query.predicate.eval(rel);
+    let index = GroupIndex::build_filtered(rel, &query.grouping, Some(&mask));
+
+    // Pre-evaluate aggregate input expressions over all rows; masked rows
+    // are skipped during accumulation so the wasted work is bounded and the
+    // per-row loop stays branch-light.
+    let exprs: Vec<Option<Vec<f64>>> = query
+        .aggregates
+        .iter()
+        .map(|a| a.expr.as_ref().map(|e| e.eval(rel)).transpose())
+        .collect::<std::result::Result<_, _>>()?;
+
+    let g = index.group_count();
+    let mut accs: Vec<Vec<Accumulator>> = (0..g)
+        .map(|_| {
+            query
+                .aggregates
+                .iter()
+                .map(|a| Accumulator::new(a.func))
+                .collect()
+        })
+        .collect();
+
+    for (row, &sel) in mask.iter().enumerate() {
+        if !sel {
+            continue;
+        }
+        let gid = index.group_of(row);
+        if gid == u32::MAX {
+            continue;
+        }
+        let group_accs = &mut accs[gid as usize];
+        for (ai, acc) in group_accs.iter_mut().enumerate() {
+            let v = exprs[ai].as_ref().map_or(0.0, |vals| vals[row]);
+            acc.add(v, 1.0);
+        }
+    }
+
+    let names = query.aggregates.iter().map(|a| a.name.clone()).collect();
+    let rows = accs
+        .into_iter()
+        .enumerate()
+        .filter(|(_, group_accs)| group_accs.first().is_some_and(|a| a.rows() > 0))
+        .map(|(gid, group_accs)| {
+            (
+                index.key(gid as u32).clone(),
+                group_accs.iter().map(Accumulator::finish).collect(),
+            )
+        })
+        .collect();
+
+    query.apply_having(QueryResult::new(names, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateSpec;
+    use relation::{ColumnId, DataType, Expr, GroupKey, Predicate, RelationBuilder, Value};
+
+    fn rel() -> Relation {
+        let mut b = RelationBuilder::new()
+            .column("g", DataType::Str)
+            .column("h", DataType::Int)
+            .column("v", DataType::Float);
+        let rows: [(&str, i64, f64); 6] = [
+            ("a", 1, 10.0),
+            ("a", 1, 20.0),
+            ("a", 2, 30.0),
+            ("b", 1, 40.0),
+            ("b", 2, 50.0),
+            ("b", 2, 60.0),
+        ];
+        for (g, h, v) in rows {
+            b.push_row(&[Value::str(g), Value::Int(h), Value::from(v)])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    fn gkey(g: &str) -> GroupKey {
+        GroupKey::new(vec![Value::str(g)])
+    }
+
+    #[test]
+    fn sum_count_avg_by_one_column() {
+        let r = rel();
+        let q = GroupByQuery::new(
+            vec![ColumnId(0)],
+            vec![
+                AggregateSpec::sum(Expr::col(ColumnId(2)), "s"),
+                AggregateSpec::count("c"),
+                AggregateSpec::avg(Expr::col(ColumnId(2)), "a"),
+            ],
+        );
+        let res = execute_exact(&r, &q).unwrap();
+        assert_eq!(res.group_count(), 2);
+        assert_eq!(res.get(&gkey("a")), Some(&[60.0, 3.0, 20.0][..]));
+        assert_eq!(res.get(&gkey("b")), Some(&[150.0, 3.0, 50.0][..]));
+    }
+
+    #[test]
+    fn scalar_aggregate() {
+        let r = rel();
+        let q = GroupByQuery::new(
+            vec![],
+            vec![AggregateSpec::sum(Expr::col(ColumnId(2)), "s")],
+        );
+        let res = execute_exact(&r, &q).unwrap();
+        assert_eq!(res.scalar(), Some(210.0));
+    }
+
+    #[test]
+    fn predicate_filters_groups_entirely() {
+        let r = rel();
+        // only rows with v >= 40 qualify -> group "a" disappears
+        let q = GroupByQuery::new(vec![ColumnId(0)], vec![AggregateSpec::count("c")])
+            .with_predicate(Predicate::ge(ColumnId(2), 40.0));
+        let res = execute_exact(&r, &q).unwrap();
+        assert_eq!(res.group_count(), 1);
+        assert_eq!(res.get(&gkey("b")), Some(&[3.0][..]));
+    }
+
+    #[test]
+    fn empty_selection_gives_empty_result() {
+        let r = rel();
+        let q = GroupByQuery::new(vec![], vec![AggregateSpec::count("c")])
+            .with_predicate(Predicate::ge(ColumnId(2), 1e9));
+        let res = execute_exact(&r, &q).unwrap();
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn min_max_exact() {
+        let r = rel();
+        let q = GroupByQuery::new(
+            vec![ColumnId(1)],
+            vec![
+                AggregateSpec::min(Expr::col(ColumnId(2)), "mn"),
+                AggregateSpec::max(Expr::col(ColumnId(2)), "mx"),
+            ],
+        );
+        let res = execute_exact(&r, &q).unwrap();
+        let k1 = GroupKey::new(vec![Value::Int(1)]);
+        let k2 = GroupKey::new(vec![Value::Int(2)]);
+        assert_eq!(res.get(&k1), Some(&[10.0, 40.0][..]));
+        assert_eq!(res.get(&k2), Some(&[30.0, 60.0][..]));
+    }
+
+    #[test]
+    fn two_column_grouping_finest() {
+        let r = rel();
+        let q = GroupByQuery::new(
+            vec![ColumnId(0), ColumnId(1)],
+            vec![AggregateSpec::sum(Expr::col(ColumnId(2)), "s")],
+        );
+        let res = execute_exact(&r, &q).unwrap();
+        assert_eq!(res.group_count(), 4);
+        let k = GroupKey::new(vec![Value::str("a"), Value::Int(1)]);
+        assert_eq!(res.get(&k), Some(&[30.0][..]));
+    }
+
+    #[test]
+    fn aggregate_over_expression() {
+        let r = rel();
+        let q = GroupByQuery::new(
+            vec![],
+            vec![AggregateSpec::sum(
+                Expr::col(ColumnId(2)).mul(Expr::lit(2.0)),
+                "s2",
+            )],
+        );
+        let res = execute_exact(&r, &q).unwrap();
+        assert_eq!(res.scalar(), Some(420.0));
+    }
+
+    #[test]
+    fn having_filters_exact_results() {
+        use crate::query::Having;
+        use relation::predicate::CmpOp;
+        let r = rel();
+        // Per-group sums: a → 60, b → 150; HAVING s > 100 keeps only b.
+        let q = GroupByQuery::new(
+            vec![ColumnId(0)],
+            vec![AggregateSpec::sum(Expr::col(ColumnId(2)), "s")],
+        )
+        .with_having(Having::new("s", CmpOp::Gt, 100.0));
+        let res = execute_exact(&r, &q).unwrap();
+        assert_eq!(res.group_count(), 1);
+        assert_eq!(res.get(&gkey("b")), Some(&[150.0][..]));
+    }
+
+    #[test]
+    fn invalid_query_is_error() {
+        let r = rel();
+        let q = GroupByQuery::new(vec![], vec![]);
+        assert!(execute_exact(&r, &q).is_err());
+    }
+}

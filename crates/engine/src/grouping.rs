@@ -1,0 +1,291 @@
+//! The group index: dense group ids for rows under a grouping.
+//!
+//! Grouping is the single hottest operation in this workspace — the exact
+//! executor, every rewrite strategy, the congress census, and per-group
+//! reservoir construction all need "which group is row *r* in?". The
+//! [`GroupIndex`] computes, for a set of grouping columns, a dense
+//! `u32` group id per row plus the materialized [`GroupKey`] per id.
+//!
+//! Implementation: each grouping column is first re-encoded to a dense
+//! per-column code (string columns already are; int/float/date columns get
+//! an on-the-fly dictionary). Up to four column codes are packed into a
+//! `u128` hash key, so the per-row hash probe is over a fixed-width integer
+//! rather than an allocated composite key. Groupings wider than four
+//! columns fall back to a `Vec<u64>` key — correct, just slower, and outside
+//! the paper's parameter range (|G| = 3).
+
+use std::collections::HashMap;
+
+use relation::{ColumnId, GroupKey, Relation};
+
+/// Dense group ids for every row of a relation under one grouping.
+#[derive(Debug, Clone)]
+pub struct GroupIndex {
+    cols: Vec<ColumnId>,
+    group_of_row: Vec<u32>,
+    keys: Vec<GroupKey>,
+}
+
+impl GroupIndex {
+    /// Build the index for `cols` over all rows of `rel`.
+    ///
+    /// An empty `cols` produces the single empty group (the `T = ∅`
+    /// no-group-by grouping), with every row assigned to it.
+    pub fn build(rel: &Relation, cols: &[ColumnId]) -> GroupIndex {
+        Self::build_filtered(rel, cols, None)
+    }
+
+    /// Build the index over only the rows where `mask` is true (or all rows
+    /// if `mask` is `None`). Rows excluded by the mask get group id
+    /// `u32::MAX` and contribute no group.
+    pub fn build_filtered(rel: &Relation, cols: &[ColumnId], mask: Option<&[bool]>) -> GroupIndex {
+        let n = rel.row_count();
+        let live = |r: usize| mask.is_none_or(|m| m[r]);
+
+        if cols.is_empty() {
+            let mut group_of_row = vec![u32::MAX; n];
+            for (r, g) in group_of_row.iter_mut().enumerate() {
+                if live(r) {
+                    *g = 0;
+                }
+            }
+            return GroupIndex {
+                cols: Vec::new(),
+                group_of_row,
+                keys: vec![GroupKey::empty()],
+            };
+        }
+
+        // Dense per-column codes.
+        let mut dense_codes: Vec<Vec<u32>> = Vec::with_capacity(cols.len());
+        for &c in cols {
+            let col = rel.column(c);
+            let mut dict: HashMap<u64, u32> = HashMap::new();
+            let mut codes = vec![0u32; n];
+            for (r, code) in codes.iter_mut().enumerate() {
+                if !live(r) {
+                    continue;
+                }
+                let raw = col.group_code(r);
+                let next = dict.len() as u32;
+                *code = *dict.entry(raw).or_insert(next);
+            }
+            dense_codes.push(codes);
+        }
+
+        let mut group_of_row = vec![u32::MAX; n];
+        let mut keys: Vec<GroupKey> = Vec::new();
+
+        if cols.len() <= 4 {
+            let mut map: HashMap<u128, u32> = HashMap::new();
+            for r in 0..n {
+                if !live(r) {
+                    continue;
+                }
+                let mut packed: u128 = 0;
+                for codes in &dense_codes {
+                    packed = (packed << 32) | codes[r] as u128;
+                }
+                let next = map.len() as u32;
+                let gid = *map.entry(packed).or_insert_with(|| {
+                    keys.push(GroupKey::from_row(rel, r, cols));
+                    next
+                });
+                group_of_row[r] = gid;
+            }
+        } else {
+            let mut map: HashMap<Vec<u32>, u32> = HashMap::new();
+            for r in 0..n {
+                if !live(r) {
+                    continue;
+                }
+                let composite: Vec<u32> = dense_codes.iter().map(|codes| codes[r]).collect();
+                let next = map.len() as u32;
+                let gid = *map.entry(composite).or_insert_with(|| {
+                    keys.push(GroupKey::from_row(rel, r, cols));
+                    next
+                });
+                group_of_row[r] = gid;
+            }
+        }
+
+        GroupIndex {
+            cols: cols.to_vec(),
+            group_of_row,
+            keys,
+        }
+    }
+
+    /// The grouping columns this index was built for.
+    pub fn columns(&self) -> &[ColumnId] {
+        &self.cols
+    }
+
+    /// Number of non-empty groups.
+    pub fn group_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Group id of `row`, or `u32::MAX` if the row was masked out.
+    #[inline]
+    pub fn group_of(&self, row: usize) -> u32 {
+        self.group_of_row[row]
+    }
+
+    /// Per-row group ids.
+    pub fn group_ids(&self) -> &[u32] {
+        &self.group_of_row
+    }
+
+    /// The key of group `gid`.
+    pub fn key(&self, gid: u32) -> &GroupKey {
+        &self.keys[gid as usize]
+    }
+
+    /// All group keys, indexed by group id.
+    pub fn keys(&self) -> &[GroupKey] {
+        &self.keys
+    }
+
+    /// Per-group row counts.
+    pub fn group_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.keys.len()];
+        for &g in &self.group_of_row {
+            if g != u32::MAX {
+                sizes[g as usize] += 1;
+            }
+        }
+        sizes
+    }
+
+    /// Row indices of each group, in relation order.
+    pub fn rows_by_group(&self) -> Vec<Vec<usize>> {
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); self.keys.len()];
+        for (r, &g) in self.group_of_row.iter().enumerate() {
+            if g != u32::MAX {
+                out[g as usize].push(r);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{DataType, RelationBuilder, Value};
+
+    fn rel() -> Relation {
+        let mut b = RelationBuilder::new()
+            .column("a", DataType::Str)
+            .column("b", DataType::Int)
+            .column("v", DataType::Float);
+        let rows: [(&str, i64, f64); 6] = [
+            ("x", 1, 1.0),
+            ("y", 1, 2.0),
+            ("x", 2, 3.0),
+            ("x", 1, 4.0),
+            ("y", 2, 5.0),
+            ("x", 2, 6.0),
+        ];
+        for (a, bb, v) in rows {
+            b.push_row(&[Value::str(a), Value::Int(bb), Value::from(v)])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn single_column_grouping() {
+        let r = rel();
+        let ix = GroupIndex::build(&r, &[r.schema().column_id("a").unwrap()]);
+        assert_eq!(ix.group_count(), 2);
+        assert_eq!(ix.group_of(0), ix.group_of(2));
+        assert_ne!(ix.group_of(0), ix.group_of(1));
+        let sizes = ix.group_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+        assert!(sizes.contains(&4) && sizes.contains(&2));
+    }
+
+    #[test]
+    fn two_column_grouping() {
+        let r = rel();
+        let cols = r.schema().column_ids(&["a", "b"]).unwrap();
+        let ix = GroupIndex::build(&r, &cols);
+        assert_eq!(ix.group_count(), 4); // (x,1),(y,1),(x,2),(y,2)
+                                         // rows 0 and 3 are both (x,1)
+        assert_eq!(ix.group_of(0), ix.group_of(3));
+        assert_eq!(ix.key(ix.group_of(0)).values()[0], Value::str("x"));
+    }
+
+    #[test]
+    fn empty_grouping_is_single_group() {
+        let r = rel();
+        let ix = GroupIndex::build(&r, &[]);
+        assert_eq!(ix.group_count(), 1);
+        assert!(ix.keys()[0].is_empty());
+        assert!(ix.group_ids().iter().all(|&g| g == 0));
+    }
+
+    #[test]
+    fn mask_excludes_rows_and_groups() {
+        let r = rel();
+        let cols = r.schema().column_ids(&["a", "b"]).unwrap();
+        // keep only rows 0 and 3, both (x,1)
+        let mask = vec![true, false, false, true, false, false];
+        let ix = GroupIndex::build_filtered(&r, &cols, Some(&mask));
+        assert_eq!(ix.group_count(), 1);
+        assert_eq!(ix.group_of(1), u32::MAX);
+        assert_eq!(ix.group_of(0), 0);
+        assert_eq!(ix.group_sizes(), vec![2]);
+    }
+
+    #[test]
+    fn rows_by_group_partitions() {
+        let r = rel();
+        let ix = GroupIndex::build(&r, &[r.schema().column_id("b").unwrap()]);
+        let parts = ix.rows_by_group();
+        let mut all: Vec<usize> = parts.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<_>>());
+        // group of b=1 contains rows 0,1,3
+        let g1 = ix.group_of(0) as usize;
+        assert_eq!(parts[g1], vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn wide_grouping_falls_back() {
+        // 5 grouping columns exercises the Vec<u32>-keyed path.
+        let mut b = RelationBuilder::new()
+            .column("c1", DataType::Int)
+            .column("c2", DataType::Int)
+            .column("c3", DataType::Int)
+            .column("c4", DataType::Int)
+            .column("c5", DataType::Int);
+        for i in 0..8i64 {
+            b.push_row(&[
+                Value::Int(i % 2),
+                Value::Int(i / 2 % 2),
+                Value::Int(i / 4 % 2),
+                Value::Int(0),
+                Value::Int(i),
+            ])
+            .unwrap();
+        }
+        let r = b.finish();
+        let cols: Vec<ColumnId> = (0..5).map(ColumnId).collect();
+        let ix = GroupIndex::build(&r, &cols);
+        assert_eq!(ix.group_count(), 8); // c5 = i makes every row distinct
+    }
+
+    #[test]
+    fn float_groups_by_bit_pattern() {
+        let mut b = RelationBuilder::new().column("f", DataType::Float);
+        for v in [1.5, 1.5, 2.5] {
+            b.push_row(&[Value::from(v)]).unwrap();
+        }
+        let r = b.finish();
+        let ix = GroupIndex::build(&r, &[ColumnId(0)]);
+        assert_eq!(ix.group_count(), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Hash joins used by the Normalized rewrite family.
+//!
+//! The paper's Normalized strategy joins the sample relation with a small
+//! auxiliary relation on the grouping attributes; Key-normalized joins on a
+//! single integer GID instead, "a shorter join predicate" (§7.3.1). The two
+//! functions here deliberately mirror that cost difference: the value join
+//! materializes a composite key per probe row, the int join probes a
+//! fixed-width key.
+
+use std::collections::HashMap;
+
+use relation::{ColumnId, Relation, Value};
+
+use crate::error::{EngineError, Result};
+
+/// Join every row of `probe` to at most one row of `build` on equality of
+/// the given column lists (positionally paired). Returns, per probe row,
+/// the matched build-side row index.
+///
+/// The build side must have unique keys — this is the synopsis AuxRel,
+/// keyed by group, so duplicates indicate a corrupted synopsis and are
+/// reported as an error.
+pub fn hash_join_unique(
+    probe: &Relation,
+    probe_cols: &[ColumnId],
+    build: &Relation,
+    build_cols: &[ColumnId],
+) -> Result<Vec<Option<usize>>> {
+    if probe_cols.len() != build_cols.len() {
+        return Err(EngineError::JoinKeyMismatch(format!(
+            "{} probe columns vs {} build columns",
+            probe_cols.len(),
+            build_cols.len()
+        )));
+    }
+    for &c in probe_cols {
+        probe.schema().field(c)?;
+    }
+    for &c in build_cols {
+        build.schema().field(c)?;
+    }
+
+    let mut table: HashMap<Vec<Value>, usize> = HashMap::with_capacity(build.row_count());
+    for r in 0..build.row_count() {
+        let key: Vec<Value> = build_cols.iter().map(|&c| build.value(r, c)).collect();
+        if table.insert(key, r).is_some() {
+            return Err(EngineError::JoinKeyMismatch(
+                "duplicate key on build side of unique join".into(),
+            ));
+        }
+    }
+
+    let mut out = Vec::with_capacity(probe.row_count());
+    for r in 0..probe.row_count() {
+        let key: Vec<Value> = probe_cols.iter().map(|&c| probe.value(r, c)).collect();
+        out.push(table.get(&key).copied());
+    }
+    Ok(out)
+}
+
+/// Materialize a foreign-key join `fact ⋈ dim` (the join class the paper's
+/// join synopses cover — "all joins in the TPC-D benchmark are on foreign
+/// keys"). Every fact row must match exactly one dimension row; a dangling
+/// foreign key is an integrity error. Dimension columns are appended to
+/// the fact schema with `dim_prefix` prepended to their names.
+pub fn foreign_key_join(
+    fact: &Relation,
+    fk: ColumnId,
+    dim: &Relation,
+    pk: ColumnId,
+    dim_prefix: &str,
+) -> Result<Relation> {
+    let matches = hash_join_unique(fact, &[fk], dim, &[pk])?;
+    let mut dim_rows = Vec::with_capacity(fact.row_count());
+    for (r, m) in matches.into_iter().enumerate() {
+        match m {
+            Some(d) => dim_rows.push(d),
+            None => {
+                return Err(EngineError::JoinKeyMismatch(format!(
+                    "fact row {r} has no matching dimension row (dangling foreign key {})",
+                    fact.value(r, fk)
+                )))
+            }
+        }
+    }
+    let gathered = dim.gather(&dim_rows);
+    let extra: Vec<(relation::Field, relation::Column)> = gathered
+        .schema()
+        .fields()
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            (
+                relation::Field::new(format!("{dim_prefix}{}", f.name), f.data_type),
+                gathered.column(ColumnId(i)).clone(),
+            )
+        })
+        .collect();
+    Ok(fact.with_columns(extra)?)
+}
+
+/// Integer-keyed variant of [`hash_join_unique`]: probe ints against build
+/// ints. Used by the Key-normalized rewrite (GID join).
+pub fn hash_join_unique_int(probe_keys: &[i64], build_keys: &[i64]) -> Result<Vec<Option<usize>>> {
+    let mut table: HashMap<i64, usize> = HashMap::with_capacity(build_keys.len());
+    for (r, &k) in build_keys.iter().enumerate() {
+        if table.insert(k, r).is_some() {
+            return Err(EngineError::JoinKeyMismatch(
+                "duplicate integer key on build side of unique join".into(),
+            ));
+        }
+    }
+    Ok(probe_keys.iter().map(|k| table.get(k).copied()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{DataType, RelationBuilder};
+
+    fn probe() -> Relation {
+        let mut b = RelationBuilder::new()
+            .column("a", DataType::Str)
+            .column("b", DataType::Int);
+        for (a, bb) in [("x", 1i64), ("y", 2), ("x", 2), ("z", 9)] {
+            b.push_row(&[Value::str(a), Value::Int(bb)]).unwrap();
+        }
+        b.finish()
+    }
+
+    fn aux() -> Relation {
+        let mut b = RelationBuilder::new()
+            .column("a", DataType::Str)
+            .column("b", DataType::Int)
+            .column("sf", DataType::Float);
+        for (a, bb, sf) in [("x", 1i64, 2.0), ("x", 2, 4.0), ("y", 2, 8.0)] {
+            b.push_row(&[Value::str(a), Value::Int(bb), Value::from(sf)])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn multi_column_join_matches() {
+        let p = probe();
+        let a = aux();
+        let cols = [ColumnId(0), ColumnId(1)];
+        let m = hash_join_unique(&p, &cols, &a, &cols).unwrap();
+        assert_eq!(m, vec![Some(0), Some(2), Some(1), None]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let p = probe();
+        let a = aux();
+        assert!(hash_join_unique(&p, &[ColumnId(0)], &a, &[ColumnId(0), ColumnId(1)]).is_err());
+    }
+
+    #[test]
+    fn duplicate_build_keys_rejected() {
+        let p = probe();
+        // Build side keyed on `a` alone has duplicate "x".
+        let a = aux();
+        assert!(hash_join_unique(&p, &[ColumnId(0)], &a, &[ColumnId(0)]).is_err());
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let p = probe();
+        let a = aux();
+        assert!(hash_join_unique(&p, &[ColumnId(9)], &a, &[ColumnId(0)]).is_err());
+    }
+
+    #[test]
+    fn foreign_key_join_materializes_dimension_columns() {
+        // fact: rows with fk into dim's pk
+        let mut f = RelationBuilder::new()
+            .column("id", DataType::Int)
+            .column("fk", DataType::Int);
+        for (id, fk) in [(1i64, 10i64), (2, 20), (3, 10)] {
+            f.push_row(&[Value::Int(id), Value::Int(fk)]).unwrap();
+        }
+        let fact = f.finish();
+        let mut d = RelationBuilder::new()
+            .column("pk", DataType::Int)
+            .column("name", DataType::Str);
+        for (pk, name) in [(10i64, "alpha"), (20, "beta")] {
+            d.push_row(&[Value::Int(pk), Value::str(name)]).unwrap();
+        }
+        let dim = d.finish();
+
+        let joined = super::foreign_key_join(&fact, ColumnId(1), &dim, ColumnId(0), "d_").unwrap();
+        assert_eq!(joined.row_count(), 3);
+        assert_eq!(joined.schema().width(), 4); // id, fk, d_pk, d_name
+        let name_col = joined.schema().column_id("d_name").unwrap();
+        assert_eq!(joined.value(0, name_col), Value::str("alpha"));
+        assert_eq!(joined.value(1, name_col), Value::str("beta"));
+        assert_eq!(joined.value(2, name_col), Value::str("alpha"));
+    }
+
+    #[test]
+    fn foreign_key_join_rejects_dangling_fk() {
+        let mut f = RelationBuilder::new().column("fk", DataType::Int);
+        f.push_row(&[Value::Int(99)]).unwrap();
+        let fact = f.finish();
+        let mut d = RelationBuilder::new().column("pk", DataType::Int);
+        d.push_row(&[Value::Int(1)]).unwrap();
+        let dim = d.finish();
+        let err = super::foreign_key_join(&fact, ColumnId(0), &dim, ColumnId(0), "d_");
+        assert!(matches!(err, Err(EngineError::JoinKeyMismatch(_))));
+    }
+
+    #[test]
+    fn int_join() {
+        let m = hash_join_unique_int(&[5, 7, 5, 1], &[7, 5]).unwrap();
+        assert_eq!(m, vec![Some(1), Some(0), Some(1), None]);
+        assert!(hash_join_unique_int(&[1], &[3, 3]).is_err());
+    }
+}

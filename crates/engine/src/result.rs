@@ -1,0 +1,186 @@
+//! Query results: groups with aggregate values.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use relation::GroupKey;
+
+/// The result of a group-by aggregate query: one row per group, with the
+/// query's aggregate values in SELECT-list order. Rows are sorted by group
+/// key so results are deterministic and directly comparable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Aggregate output labels, in SELECT-list order.
+    pub aggregate_names: Vec<String>,
+    rows: Vec<(GroupKey, Vec<f64>)>,
+}
+
+impl QueryResult {
+    /// Assemble a result, sorting rows by key.
+    pub fn new(aggregate_names: Vec<String>, mut rows: Vec<(GroupKey, Vec<f64>)>) -> Self {
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        QueryResult {
+            aggregate_names,
+            rows,
+        }
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result has no groups.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows, sorted by group key.
+    pub fn rows(&self) -> &[(GroupKey, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// Iterate over `(key, values)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&GroupKey, &[f64])> {
+        self.rows.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Aggregate values for a specific group key.
+    pub fn get(&self, key: &GroupKey) -> Option<&[f64]> {
+        self.rows
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .ok()
+            .map(|i| self.rows[i].1.as_slice())
+    }
+
+    /// The single value of a scalar (no-group-by, one-aggregate) result.
+    pub fn scalar(&self) -> Option<f64> {
+        if self.rows.len() == 1 && self.rows[0].1.len() == 1 {
+            Some(self.rows[0].1[0])
+        } else {
+            None
+        }
+    }
+
+    /// Index rows by key for repeated lookups.
+    pub fn by_key(&self) -> HashMap<&GroupKey, &[f64]> {
+        self.rows.iter().map(|(k, v)| (k, v.as_slice())).collect()
+    }
+
+    /// Position of an aggregate by output name.
+    pub fn aggregate_index(&self, name: &str) -> Option<usize> {
+        self.aggregate_names.iter().position(|n| n == name)
+    }
+
+    /// The `k` groups with the largest (`descending = true`) or smallest
+    /// values of the aggregate at `agg_index` — the top-k report shape
+    /// OLAP front ends put on approximate answers. Ties break by group
+    /// key for determinism.
+    pub fn top_k(&self, agg_index: usize, k: usize, descending: bool) -> Vec<(GroupKey, f64)> {
+        let mut rows: Vec<(GroupKey, f64)> = self
+            .rows
+            .iter()
+            .map(|(key, vals)| (key.clone(), vals[agg_index]))
+            .collect();
+        rows.sort_by(|a, b| {
+            let ord = a.1.total_cmp(&b.1);
+            let ord = if descending { ord.reverse() } else { ord };
+            ord.then_with(|| a.0.cmp(&b.0))
+        });
+        rows.truncate(k);
+        rows
+    }
+}
+
+impl fmt::Display for QueryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "group | {}", self.aggregate_names.join(" | "))?;
+        for (k, vals) in &self.rows {
+            let vs: Vec<String> = vals.iter().map(|v| format!("{v:.4}")).collect();
+            writeln!(f, "{k} | {}", vs.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::Value;
+
+    fn key(s: &str) -> GroupKey {
+        GroupKey::new(vec![Value::str(s)])
+    }
+
+    #[test]
+    fn rows_sorted_and_lookup() {
+        let r = QueryResult::new(
+            vec!["s".into()],
+            vec![(key("b"), vec![2.0]), (key("a"), vec![1.0])],
+        );
+        assert_eq!(r.rows()[0].0, key("a"));
+        assert_eq!(r.get(&key("b")), Some(&[2.0][..]));
+        assert_eq!(r.get(&key("zz")), None);
+        assert_eq!(r.group_count(), 2);
+    }
+
+    #[test]
+    fn scalar_result() {
+        let r = QueryResult::new(vec!["c".into()], vec![(GroupKey::empty(), vec![42.0])]);
+        assert_eq!(r.scalar(), Some(42.0));
+        let multi = QueryResult::new(
+            vec!["c".into()],
+            vec![(key("a"), vec![1.0]), (key("b"), vec![2.0])],
+        );
+        assert_eq!(multi.scalar(), None);
+        let two_aggs = QueryResult::new(
+            vec!["a".into(), "b".into()],
+            vec![(GroupKey::empty(), vec![1.0, 2.0])],
+        );
+        assert_eq!(two_aggs.scalar(), None);
+    }
+
+    #[test]
+    fn by_key_and_names() {
+        let r = QueryResult::new(
+            vec!["s".into(), "c".into()],
+            vec![(key("a"), vec![1.0, 10.0])],
+        );
+        let m = r.by_key();
+        assert_eq!(m[&key("a")], &[1.0, 10.0][..]);
+        assert_eq!(r.aggregate_index("c"), Some(1));
+        assert_eq!(r.aggregate_index("zz"), None);
+    }
+
+    #[test]
+    fn top_k_orders_and_truncates() {
+        let r = QueryResult::new(
+            vec!["s".into()],
+            vec![
+                (key("a"), vec![10.0]),
+                (key("b"), vec![30.0]),
+                (key("c"), vec![20.0]),
+                (key("d"), vec![30.0]),
+            ],
+        );
+        let top = r.top_k(0, 2, true);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].1, 30.0);
+        assert_eq!(top[1].1, 30.0);
+        // Deterministic tie-break by key: b before d.
+        assert_eq!(top[0].0, key("b"));
+        let bottom = r.top_k(0, 1, false);
+        assert_eq!(bottom[0], (key("a"), 10.0));
+        // k larger than the result is fine.
+        assert_eq!(r.top_k(0, 99, true).len(), 4);
+    }
+
+    #[test]
+    fn display_has_header() {
+        let r = QueryResult::new(vec!["sum_q".into()], vec![(key("a"), vec![1.0])]);
+        let s = r.to_string();
+        assert!(s.contains("sum_q") && s.contains("⟨a⟩"));
+    }
+}

@@ -1,0 +1,280 @@
+//! The paper's four query-rewriting strategies (§5.2) as physical plans.
+//!
+//! Given a [`StratifiedInput`](crate::StratifiedInput), each strategy materializes a physical
+//! *synopsis layout* once (at sample-construction time) and then answers
+//! arbitrary [`GroupByQuery`]s against it:
+//!
+//! | Strategy | Layout | Per-query cost profile |
+//! |---|---|---|
+//! | [`Integrated`] | SF column stored per tuple (Fig 8) | one multiply per tuple |
+//! | [`NestedIntegrated`] | SF column per tuple, nested plan (Fig 11) | one multiply per (group × SF) |
+//! | [`Normalized`] | SF in AuxRel, joined on grouping columns (Fig 9) | multi-attribute hash join |
+//! | [`KeyNormalized`] | SF in AuxRel, joined on integer GID (Fig 10) | single-int hash join |
+//!
+//! All four produce the *same* unbiased stratified estimate (§5.1) — an
+//! invariant the integration tests assert — and differ only in execution
+//! cost and maintenance cost (Integrated layouts duplicate the SF into
+//! every tuple, so a group's rate change rewrites many tuples; Normalized
+//! layouts confine it to one AuxRel row).
+
+mod integrated;
+mod key_normalized;
+mod nested_integrated;
+mod normalized;
+
+pub use integrated::Integrated;
+pub use key_normalized::KeyNormalized;
+pub use nested_integrated::NestedIntegrated;
+pub use normalized::Normalized;
+
+use relation::Relation;
+
+use crate::aggregate::Accumulator;
+use crate::error::Result;
+use crate::grouping::GroupIndex;
+use crate::query::GroupByQuery;
+use crate::result::QueryResult;
+
+/// A physical sample layout that can answer group-by queries approximately.
+pub trait SamplePlan {
+    /// Strategy name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Execute `query` against the sample, producing scaled estimates.
+    fn execute(&self, query: &GroupByQuery) -> Result<QueryResult>;
+
+    /// The materialized sample relation (including any SF/GID columns).
+    fn sample_relation(&self) -> &Relation;
+
+    /// Total bytes of synopsis storage (sample plus any auxiliary relation).
+    fn storage_bytes(&self) -> usize {
+        self.sample_relation().approx_bytes()
+    }
+
+    /// How many stored cells must be rewritten when stratum `stratum`'s
+    /// sampling rate (ScaleFactor) changes — the maintenance-cost side of
+    /// the §5.2 trade-off. Integrated layouts duplicate the SF into every
+    /// tuple, so the whole stratum is touched; Normalized layouts confine
+    /// the change to a single AuxRel row.
+    fn rate_change_cost(&self, stratum: u32) -> usize;
+}
+
+/// Shared flat aggregation: evaluate `query` over `rel` where each row
+/// carries precomputed weight `weights[row]` (its stratum's ScaleFactor).
+///
+/// This is the execution core of Integrated, Normalized, and Key-normalized
+/// — they differ only in how `weights` is obtained.
+pub(crate) fn aggregate_weighted(
+    rel: &Relation,
+    weights: &[f64],
+    query: &GroupByQuery,
+) -> Result<QueryResult> {
+    query.validate(rel)?;
+    debug_assert_eq!(weights.len(), rel.row_count());
+
+    let mask = query.predicate.eval(rel);
+    let index = GroupIndex::build_filtered(rel, &query.grouping, Some(&mask));
+
+    let exprs: Vec<Option<Vec<f64>>> = query
+        .aggregates
+        .iter()
+        .map(|a| a.expr.as_ref().map(|e| e.eval(rel)).transpose())
+        .collect::<std::result::Result<_, _>>()?;
+
+    let mut accs: Vec<Vec<Accumulator>> = (0..index.group_count())
+        .map(|_| {
+            query
+                .aggregates
+                .iter()
+                .map(|a| Accumulator::new(a.func))
+                .collect()
+        })
+        .collect();
+
+    for (row, &sel) in mask.iter().enumerate() {
+        if !sel {
+            continue;
+        }
+        let gid = index.group_of(row);
+        if gid == u32::MAX {
+            continue;
+        }
+        let w = weights[row];
+        for (ai, acc) in accs[gid as usize].iter_mut().enumerate() {
+            let v = exprs[ai].as_ref().map_or(0.0, |vals| vals[row]);
+            acc.add(v, w);
+        }
+    }
+
+    let names = query.aggregates.iter().map(|a| a.name.clone()).collect();
+    let rows = accs
+        .into_iter()
+        .enumerate()
+        .filter(|(_, a)| a.first().is_some_and(|x| x.rows() > 0))
+        .map(|(gid, a)| {
+            (
+                index.key(gid as u32).clone(),
+                a.iter().map(Accumulator::finish).collect(),
+            )
+        })
+        .collect();
+    query.apply_having(QueryResult::new(names, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateSpec;
+    use crate::stratified::test_support::{pred_v_ge, sample};
+    use relation::{ColumnId, Expr, GroupKey, Value};
+
+    /// Construct all four plans over the shared fixture.
+    fn plans() -> Vec<Box<dyn SamplePlan>> {
+        let s = sample();
+        vec![
+            Box::new(Integrated::build(&s).unwrap()),
+            Box::new(NestedIntegrated::build(&s).unwrap()),
+            Box::new(Normalized::build(&s).unwrap()),
+            Box::new(KeyNormalized::build(&s).unwrap()),
+        ]
+    }
+
+    fn queries() -> Vec<GroupByQuery> {
+        let v = Expr::col(ColumnId(2));
+        vec![
+            // finest grouping
+            GroupByQuery::new(
+                vec![ColumnId(0), ColumnId(1)],
+                vec![
+                    AggregateSpec::sum(v.clone(), "s"),
+                    AggregateSpec::count("c"),
+                    AggregateSpec::avg(v.clone(), "a"),
+                ],
+            ),
+            // coarser grouping on a alone (strata merge within groups)
+            GroupByQuery::new(
+                vec![ColumnId(0)],
+                vec![
+                    AggregateSpec::sum(v.clone(), "s"),
+                    AggregateSpec::count("c"),
+                ],
+            ),
+            // no grouping
+            GroupByQuery::new(vec![], vec![AggregateSpec::sum(v.clone(), "s")]),
+            // with predicate
+            GroupByQuery::new(vec![ColumnId(0)], vec![AggregateSpec::sum(v.clone(), "s")])
+                .with_predicate(pred_v_ge(3.0)),
+            // grouping on the non-stratum column b
+            GroupByQuery::new(
+                vec![ColumnId(1)],
+                vec![AggregateSpec::avg(v, "a"), AggregateSpec::count("c")],
+            ),
+        ]
+    }
+
+    #[test]
+    fn all_strategies_agree_exactly() {
+        let plans = plans();
+        for q in queries() {
+            let reference = plans[0].execute(&q).unwrap();
+            for p in &plans[1..] {
+                let r = p.execute(&q).unwrap();
+                assert_eq!(
+                    r.aggregate_names,
+                    reference.aggregate_names,
+                    "{} names",
+                    p.name()
+                );
+                assert_eq!(
+                    r.group_count(),
+                    reference.group_count(),
+                    "{} group count for {:?}",
+                    p.name(),
+                    q.grouping
+                );
+                for ((k1, v1), (k2, v2)) in r.rows().iter().zip(reference.rows()) {
+                    assert_eq!(k1, k2, "{} keys", p.name());
+                    for (x, y) in v1.iter().zip(v2) {
+                        assert!(
+                            (x - y).abs() < 1e-9 * (1.0 + y.abs()),
+                            "{}: {x} vs {y} for key {k1}",
+                            p.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_scale_correctly() {
+        // Fixture: ("x",1) has 4 rows sampled 2 @SF=2; ("x",2) 2 rows
+        // sampled 1 @SF=2; ("y",1) fully sampled @SF=1.
+        let plans = plans();
+        let q = GroupByQuery::new(vec![ColumnId(0)], vec![AggregateSpec::count("c")]);
+        for p in &plans {
+            let r = p.execute(&q).unwrap();
+            let x = GroupKey::new(vec![Value::str("x")]);
+            let y = GroupKey::new(vec![Value::str("y")]);
+            // COUNT(x) = 2·2 + 1·2 = 6 (true count 6); COUNT(y) = 2·1 = 2.
+            assert_eq!(r.get(&x), Some(&[6.0][..]), "{}", p.name());
+            assert_eq!(r.get(&y), Some(&[2.0][..]), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn fully_sampled_stratum_is_exact() {
+        // ("y",1) is sampled at rate 1, so any query isolating it is exact.
+        let plans = plans();
+        let q = GroupByQuery::new(
+            vec![ColumnId(0), ColumnId(1)],
+            vec![
+                AggregateSpec::sum(Expr::col(ColumnId(2)), "s"),
+                AggregateSpec::avg(Expr::col(ColumnId(2)), "a"),
+            ],
+        );
+        let y1 = GroupKey::new(vec![Value::str("y"), Value::Int(1)]);
+        for p in &plans {
+            let r = p.execute(&q).unwrap();
+            let vals = r.get(&y1).unwrap();
+            assert_eq!(vals[0], 300.0, "{}", p.name());
+            assert_eq!(vals[1], 150.0, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn storage_accounting_positive() {
+        for p in plans() {
+            assert!(p.storage_bytes() > 0, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn rate_change_cost_tradeoff() {
+        // Fixture strata sizes: 2, 1, 2 sampled tuples.
+        let s = sample();
+        let integrated = Integrated::build(&s).unwrap();
+        let nested = NestedIntegrated::build(&s).unwrap();
+        let norm = Normalized::build(&s).unwrap();
+        let keyn = KeyNormalized::build(&s).unwrap();
+        // Integrated layouts rewrite every tuple of the stratum.
+        assert_eq!(integrated.rate_change_cost(0), 2);
+        assert_eq!(integrated.rate_change_cost(1), 1);
+        assert_eq!(nested.rate_change_cost(2), 2);
+        // Normalized layouts touch exactly one AuxRel row.
+        assert_eq!(norm.rate_change_cost(0), 1);
+        assert_eq!(keyn.rate_change_cost(2), 1);
+        // Unknown strata cost nothing on the normalized side.
+        assert_eq!(norm.rate_change_cost(99), 0);
+        assert_eq!(integrated.rate_change_cost(99), 0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<&str> = plans().iter().map(|p| p.name()).collect();
+        let mut uniq = names.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), names.len());
+    }
+}

@@ -1,0 +1,205 @@
+//! The logical form of a stratified (biased) sample handed to the rewrite
+//! strategies.
+//!
+//! The congress crate decides *which* rows to sample and at what rate; the
+//! engine decides *how* to physically lay them out and execute queries
+//! against them. [`StratifiedInput`] is the hand-off type: the sampled rows
+//! (as a relation sharing the base schema), a stratum id per sampled row,
+//! and a ScaleFactor per stratum (the inverse sampling rate of that
+//! stratum, §5.1).
+
+use relation::{ColumnId, GroupKey, Relation};
+
+use crate::error::{EngineError, Result};
+
+/// A materialized stratified sample, pre-physical-layout.
+#[derive(Debug, Clone)]
+pub struct StratifiedInput {
+    /// The sampled tuples, with the base relation's schema.
+    pub rows: Relation,
+    /// Stratum id of each sampled row (indexes `scale_factors` / `strata_keys`).
+    pub stratum_of_row: Vec<u32>,
+    /// ScaleFactor of each stratum: `n_g / sampled_g`, the inverse sampling
+    /// rate. Strata with no sampled rows may carry any positive placeholder.
+    pub scale_factors: Vec<f64>,
+    /// Group key of each stratum under the finest grouping.
+    pub strata_keys: Vec<GroupKey>,
+    /// The finest grouping columns the strata are defined over (the paper's
+    /// `G`), as ids into the base schema.
+    pub grouping_columns: Vec<ColumnId>,
+}
+
+impl StratifiedInput {
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.stratum_of_row.len() != self.rows.row_count() {
+            return Err(EngineError::InvalidStratifiedInput(format!(
+                "{} stratum ids for {} rows",
+                self.stratum_of_row.len(),
+                self.rows.row_count()
+            )));
+        }
+        if self.scale_factors.len() != self.strata_keys.len() {
+            return Err(EngineError::InvalidStratifiedInput(format!(
+                "{} scale factors for {} strata keys",
+                self.scale_factors.len(),
+                self.strata_keys.len()
+            )));
+        }
+        let s = self.scale_factors.len() as u32;
+        if let Some(&bad) = self.stratum_of_row.iter().find(|&&i| i >= s) {
+            return Err(EngineError::InvalidStratifiedInput(format!(
+                "stratum id {bad} out of range ({s} strata)"
+            )));
+        }
+        if let Some((i, &sf)) = self
+            .scale_factors
+            .iter()
+            .enumerate()
+            .find(|(_, &sf)| sf <= 0.0 || !sf.is_finite())
+        {
+            return Err(EngineError::InvalidStratifiedInput(format!(
+                "stratum {i} has non-positive or non-finite scale factor {sf}"
+            )));
+        }
+        for &c in &self.grouping_columns {
+            self.rows.schema().field(c)?;
+        }
+        for (i, k) in self.strata_keys.iter().enumerate() {
+            if k.len() != self.grouping_columns.len() {
+                return Err(EngineError::InvalidStratifiedInput(format!(
+                    "stratum {i} key has {} values for {} grouping columns",
+                    k.len(),
+                    self.grouping_columns.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of strata.
+    pub fn stratum_count(&self) -> usize {
+        self.scale_factors.len()
+    }
+
+    /// Per-row scale factors (materialized).
+    pub fn row_scale_factors(&self) -> Vec<f64> {
+        self.stratum_of_row
+            .iter()
+            .map(|&s| self.scale_factors[s as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared fixture used by the rewrite-strategy tests: a small base
+    //! relation, a stratified sample over it, and its exact answer.
+
+    use relation::{DataType, Predicate, RelationBuilder, Value};
+
+    use super::*;
+
+    /// Base relation: grouping columns (a: Str, b: Int), aggregate column v.
+    /// Groups under (a, b): ("x",1) 4 rows, ("x",2) 2 rows, ("y",1) 2 rows.
+    pub fn base() -> Relation {
+        let mut bld = RelationBuilder::new()
+            .column("a", DataType::Str)
+            .column("b", DataType::Int)
+            .column("v", DataType::Float);
+        let rows: [(&str, i64, f64); 8] = [
+            ("x", 1, 1.0),
+            ("x", 1, 2.0),
+            ("x", 1, 3.0),
+            ("x", 1, 4.0),
+            ("x", 2, 10.0),
+            ("x", 2, 20.0),
+            ("y", 1, 100.0),
+            ("y", 1, 200.0),
+        ];
+        for (a, b, v) in rows {
+            bld.push_row(&[Value::str(a), Value::Int(b), Value::from(v)])
+                .unwrap();
+        }
+        bld.finish()
+    }
+
+    /// A stratified sample: 2 of 4 rows from ("x",1) at SF=2, 1 of 2 from
+    /// ("x",2) at SF=2, 2 of 2 from ("y",1) at SF=1.
+    pub fn sample() -> StratifiedInput {
+        let base = base();
+        let sampled = base.gather(&[0, 2, 4, 6, 7]);
+        StratifiedInput {
+            rows: sampled,
+            stratum_of_row: vec![0, 0, 1, 2, 2],
+            scale_factors: vec![2.0, 2.0, 1.0],
+            strata_keys: vec![
+                GroupKey::new(vec![Value::str("x"), Value::Int(1)]),
+                GroupKey::new(vec![Value::str("x"), Value::Int(2)]),
+                GroupKey::new(vec![Value::str("y"), Value::Int(1)]),
+            ],
+            grouping_columns: vec![ColumnId(0), ColumnId(1)],
+        }
+    }
+
+    /// A predicate selecting v >= 3 (drops some sampled rows).
+    pub fn pred_v_ge(threshold: f64) -> Predicate {
+        Predicate::ge(ColumnId(2), threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::sample;
+    use super::*;
+
+    #[test]
+    fn valid_fixture_passes() {
+        assert!(sample().validate().is_ok());
+        assert_eq!(sample().stratum_count(), 3);
+    }
+
+    #[test]
+    fn row_scale_factors_expand() {
+        let s = sample();
+        assert_eq!(s.row_scale_factors(), vec![2.0, 2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn detects_length_mismatch() {
+        let mut s = sample();
+        s.stratum_of_row.pop();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn detects_out_of_range_stratum() {
+        let mut s = sample();
+        s.stratum_of_row[0] = 99;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn detects_bad_scale_factor() {
+        let mut s = sample();
+        s.scale_factors[1] = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = sample();
+        s.scale_factors[1] = f64::INFINITY;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn detects_key_arity_mismatch() {
+        let mut s = sample();
+        s.strata_keys[0] = GroupKey::empty();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn detects_bad_grouping_column() {
+        let mut s = sample();
+        s.grouping_columns.push(ColumnId(42));
+        assert!(s.validate().is_err());
+    }
+}

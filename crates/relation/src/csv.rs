@@ -1,0 +1,314 @@
+//! Minimal CSV ingestion: load external data into a [`Relation`].
+//!
+//! Covers the common case for feeding real warehouse extracts into the
+//! sampling pipeline: a header row naming columns, RFC-4180-style quoting
+//! (`"..."` fields, doubled `""` escapes), and either caller-specified
+//! column types or inference from the data (Int → Float → Date → Str).
+
+use std::io::BufRead;
+
+use crate::column::Column;
+use crate::datatype::DataType;
+use crate::dates::parse_date;
+use crate::error::{RelationError, Result};
+use crate::relation::Relation;
+use crate::schema::{Field, Schema};
+use crate::value::Value;
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Column types, positionally. `None` infers from the data: a column
+    /// is `Int` if every value parses as an integer, else `Float` if every
+    /// value parses as a float, else `Date` if every value parses as a
+    /// date literal, else `Str`.
+    pub types: Option<Vec<DataType>>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            types: None,
+        }
+    }
+}
+
+/// Split one CSV record into fields, honoring quotes.
+fn split_record(line: &str, delimiter: char) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    field.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else if c == '"' {
+            if field.is_empty() {
+                in_quotes = true;
+            } else {
+                return Err(RelationError::UnknownColumn(format!(
+                    "stray quote in CSV record `{line}`"
+                )));
+            }
+        } else if c == delimiter {
+            fields.push(std::mem::take(&mut field));
+        } else {
+            field.push(c);
+        }
+    }
+    if in_quotes {
+        return Err(RelationError::UnknownColumn(format!(
+            "unterminated quote in CSV record `{line}`"
+        )));
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+fn parses_int(s: &str) -> bool {
+    !s.is_empty() && s.parse::<i64>().is_ok()
+}
+
+fn parses_float(s: &str) -> bool {
+    !s.is_empty() && s.parse::<f64>().is_ok()
+}
+
+fn parses_date(s: &str) -> bool {
+    parse_date(s).is_ok()
+}
+
+/// Infer a column type from its values (all rows must agree).
+fn infer_type(values: &[&str]) -> DataType {
+    if values.iter().all(|v| parses_int(v)) {
+        DataType::Int
+    } else if values.iter().all(|v| parses_float(v)) {
+        DataType::Float
+    } else if values.iter().all(|v| parses_date(v)) {
+        DataType::Date
+    } else {
+        DataType::Str
+    }
+}
+
+fn parse_value(s: &str, dt: DataType, line_no: usize) -> Result<Value> {
+    let bad = |what: &str| {
+        RelationError::UnknownColumn(format!("CSV line {line_no}: `{s}` is not a valid {what}"))
+    };
+    Ok(match dt {
+        DataType::Int => Value::Int(s.parse().map_err(|_| bad("integer"))?),
+        DataType::Float => Value::from(s.parse::<f64>().map_err(|_| bad("float"))?),
+        DataType::Date => {
+            // Accept either a day number or a date literal.
+            if let Ok(days) = s.parse::<i32>() {
+                Value::Date(days)
+            } else {
+                Value::Date(parse_date(s).map_err(|_| bad("date"))?)
+            }
+        }
+        DataType::Str => Value::str(s),
+    })
+}
+
+/// Read a CSV document (header row required) into a [`Relation`].
+pub fn read_csv<R: BufRead>(reader: R, options: &CsvOptions) -> Result<Relation> {
+    let mut lines = Vec::new();
+    for line in reader.lines() {
+        let line =
+            line.map_err(|e| RelationError::UnknownColumn(format!("CSV read error: {e}")))?;
+        if !line.trim().is_empty() {
+            lines.push(line);
+        }
+    }
+    let Some(header) = lines.first() else {
+        return Err(RelationError::UnknownColumn(
+            "CSV input is empty (no header row)".into(),
+        ));
+    };
+    let names = split_record(header, options.delimiter)?;
+    let width = names.len();
+
+    // Split all records up front (types may need a full pass to infer).
+    let mut records: Vec<Vec<String>> = Vec::with_capacity(lines.len() - 1);
+    for (i, line) in lines[1..].iter().enumerate() {
+        let fields = split_record(line, options.delimiter)?;
+        if fields.len() != width {
+            return Err(RelationError::ArityMismatch {
+                expected: width,
+                actual: fields.len(),
+            });
+        }
+        let _ = i;
+        records.push(fields);
+    }
+
+    let types: Vec<DataType> = match &options.types {
+        Some(t) => {
+            if t.len() != width {
+                return Err(RelationError::ArityMismatch {
+                    expected: width,
+                    actual: t.len(),
+                });
+            }
+            t.clone()
+        }
+        None => (0..width)
+            .map(|c| {
+                let col_values: Vec<&str> = records.iter().map(|r| r[c].as_str()).collect();
+                if col_values.is_empty() {
+                    DataType::Str
+                } else {
+                    infer_type(&col_values)
+                }
+            })
+            .collect(),
+    };
+
+    let schema = Schema::new(
+        names
+            .iter()
+            .zip(&types)
+            .map(|(n, &t)| Field::new(n.clone(), t))
+            .collect(),
+    )?;
+    let mut columns: Vec<Column> = types
+        .iter()
+        .map(|&t| Column::with_capacity(t, records.len()))
+        .collect();
+    for (row_no, record) in records.iter().enumerate() {
+        for (c, raw) in record.iter().enumerate() {
+            let v = parse_value(raw, types[c], row_no + 2)?;
+            columns[c].push(v)?;
+        }
+    }
+    Relation::new(schema, columns)
+}
+
+/// Parse CSV text directly (convenience over [`read_csv`]).
+pub fn parse_csv(text: &str, options: &CsvOptions) -> Result<Relation> {
+    read_csv(std::io::Cursor::new(text), options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnId;
+
+    #[test]
+    fn infers_types_from_data() {
+        let rel = parse_csv(
+            "state,pop,income,asof\nCA,100,51000.5,1998-09-01\nWY,2,48000.25,1998-10-01\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        let s = rel.schema();
+        assert_eq!(s.data_type(ColumnId(0)).unwrap(), DataType::Str);
+        assert_eq!(s.data_type(ColumnId(1)).unwrap(), DataType::Int);
+        assert_eq!(s.data_type(ColumnId(2)).unwrap(), DataType::Float);
+        assert_eq!(s.data_type(ColumnId(3)).unwrap(), DataType::Date);
+        assert_eq!(rel.row_count(), 2);
+        assert_eq!(rel.value(0, ColumnId(1)), Value::Int(100));
+        assert_eq!(rel.value(0, ColumnId(3)), Value::Date(10_470));
+    }
+
+    #[test]
+    fn explicit_types_override_inference() {
+        // "pop" would infer Int; force Float.
+        let rel = parse_csv(
+            "pop\n1\n2\n",
+            &CsvOptions {
+                types: Some(vec![DataType::Float]),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            rel.schema().data_type(ColumnId(0)).unwrap(),
+            DataType::Float
+        );
+    }
+
+    #[test]
+    fn quoting_rules() {
+        let rel = parse_csv(
+            "name,notes\n\"Smith, Jo\",\"said \"\"hi\"\"\"\nplain,ok\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(rel.value(0, ColumnId(0)), Value::str("Smith, Jo"));
+        assert_eq!(rel.value(0, ColumnId(1)), Value::str("said \"hi\""));
+        assert_eq!(rel.value(1, ColumnId(0)), Value::str("plain"));
+    }
+
+    #[test]
+    fn alternative_delimiter() {
+        let rel = parse_csv(
+            "a;b\n1;2\n",
+            &CsvOptions {
+                delimiter: ';',
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(rel.schema().width(), 2);
+        assert_eq!(rel.value(0, ColumnId(1)), Value::Int(2));
+    }
+
+    #[test]
+    fn error_cases() {
+        let o = CsvOptions::default();
+        assert!(parse_csv("", &o).is_err()); // empty
+        assert!(parse_csv("a,b\n1\n", &o).is_err()); // ragged row
+        assert!(parse_csv("a\n\"open\n", &o).is_err()); // unterminated quote
+        assert!(parse_csv("a\nx\"y\n", &o).is_err()); // stray quote
+                                                      // explicit type mismatch
+        let bad = parse_csv(
+            "a\nhello\n",
+            &CsvOptions {
+                types: Some(vec![DataType::Int]),
+                ..Default::default()
+            },
+        );
+        assert!(bad.is_err());
+        // wrong type-spec arity
+        let bad = parse_csv(
+            "a,b\n1,2\n",
+            &CsvOptions {
+                types: Some(vec![DataType::Int]),
+                ..Default::default()
+            },
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped_and_mixed_column_falls_back_to_str() {
+        let rel = parse_csv("v\n\n1\n\nx\n", &CsvOptions::default()).unwrap();
+        assert_eq!(rel.row_count(), 2);
+        assert_eq!(rel.schema().data_type(ColumnId(0)).unwrap(), DataType::Str);
+    }
+
+    #[test]
+    fn date_column_accepts_day_numbers() {
+        let rel = parse_csv(
+            "d\n10470\n",
+            &CsvOptions {
+                types: Some(vec![DataType::Date]),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(rel.value(0, ColumnId(0)), Value::Date(10_470));
+    }
+}

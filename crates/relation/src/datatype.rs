@@ -1,0 +1,82 @@
+//! Logical column data types.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The logical type of a column.
+///
+/// `Date` is stored as days since 1970-01-01, matching how the TPC-D
+/// generator in this workspace encodes `l_shipdate`. Keeping dates integral
+/// lets them participate in range predicates and grouping without a calendar
+/// library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// Dictionary-encoded UTF-8 string.
+    Str,
+    /// Days since the Unix epoch, stored as `i32`.
+    Date,
+}
+
+impl DataType {
+    /// Whether values of this type can be used as an aggregation input
+    /// (i.e. converted losslessly to `f64` for SUM/AVG arithmetic).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float | DataType::Date)
+    }
+
+    /// Whether values of this type have a total order usable in range
+    /// predicates. Strings are ordered lexicographically.
+    pub fn is_ordered(self) -> bool {
+        true
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "Int",
+            DataType::Float => "Float",
+            DataType::Str => "Str",
+            DataType::Date => "Date",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(DataType::Date.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+    }
+
+    #[test]
+    fn display_round_trip_names() {
+        assert_eq!(DataType::Int.to_string(), "Int");
+        assert_eq!(DataType::Str.to_string(), "Str");
+        assert_eq!(DataType::Date.to_string(), "Date");
+        assert_eq!(DataType::Float.to_string(), "Float");
+    }
+
+    #[test]
+    fn all_types_are_ordered() {
+        for t in [
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+            DataType::Date,
+        ] {
+            assert!(t.is_ordered());
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Civil-date ↔ day-number conversion for `DataType::Date` columns.
+//!
+//! Dates are stored as days since 1970-01-01 (proleptic Gregorian). The
+//! conversion uses Howard Hinnant's `days_from_civil` algorithm — exact
+//! over the full `i32` day range, no calendar tables.
+
+use crate::error::{RelationError, Result};
+
+/// Days since 1970-01-01 for a civil date. Valid for any year in
+/// `[-32767, 32767]`; month/day are validated.
+pub fn days_from_civil(year: i32, month: u32, day: u32) -> Result<i32> {
+    if !(1..=12).contains(&month) {
+        return Err(RelationError::UnknownColumn(format!(
+            "invalid month {month} in date"
+        )));
+    }
+    if day < 1 || day > days_in_month(year, month) {
+        return Err(RelationError::UnknownColumn(format!(
+            "invalid day {day} for {year}-{month:02}"
+        )));
+    }
+    let y = i64::from(year) - i64::from(month <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (month as i64 + 9) % 12; // [0, 11], Mar = 0
+    let doy = (153 * mp + 2) / 5 + day as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    Ok((era * 146_097 + doe - 719_468) as i32)
+}
+
+/// Civil `(year, month, day)` for a day number.
+pub fn civil_from_days(days: i32) -> (i32, u32, u32) {
+    let z = i64::from(days) + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+fn is_leap(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(year) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+/// Parse a date literal into a day number. Two forms are accepted:
+/// ISO `YYYY-MM-DD` and the TPC-D/Oracle style `DD-MON-YY[YY]` the paper's
+/// Figure 2 uses (`'01-SEP-98'`; two-digit years map to 1970–2069).
+pub fn parse_date(text: &str) -> Result<i32> {
+    let bad = || RelationError::UnknownColumn(format!("unparseable date literal `{text}`"));
+    let parts: Vec<&str> = text.split('-').collect();
+    if parts.len() != 3 {
+        return Err(bad());
+    }
+    // ISO: all numeric, first part is the year.
+    if parts[0].len() == 4 && parts.iter().all(|p| p.chars().all(|c| c.is_ascii_digit())) {
+        let year: i32 = parts[0].parse().map_err(|_| bad())?;
+        let month: u32 = parts[1].parse().map_err(|_| bad())?;
+        let day: u32 = parts[2].parse().map_err(|_| bad())?;
+        return days_from_civil(year, month, day);
+    }
+    // Oracle style: DD-MON-YY or DD-MON-YYYY.
+    let day: u32 = parts[0].parse().map_err(|_| bad())?;
+    let month = match parts[1].to_ascii_uppercase().as_str() {
+        "JAN" => 1,
+        "FEB" => 2,
+        "MAR" => 3,
+        "APR" => 4,
+        "MAY" => 5,
+        "JUN" => 6,
+        "JUL" => 7,
+        "AUG" => 8,
+        "SEP" => 9,
+        "OCT" => 10,
+        "NOV" => 11,
+        "DEC" => 12,
+        _ => return Err(bad()),
+    };
+    let raw_year: i32 = parts[2].parse().map_err(|_| bad())?;
+    let year = match parts[2].len() {
+        2 => {
+            if raw_year < 70 {
+                2000 + raw_year
+            } else {
+                1900 + raw_year
+            }
+        }
+        4 => raw_year,
+        _ => return Err(bad()),
+    };
+    days_from_civil(year, month, day)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_and_known_dates() {
+        assert_eq!(days_from_civil(1970, 1, 1).unwrap(), 0);
+        assert_eq!(days_from_civil(1970, 1, 2).unwrap(), 1);
+        assert_eq!(days_from_civil(1969, 12, 31).unwrap(), -1);
+        assert_eq!(days_from_civil(2000, 3, 1).unwrap(), 11_017);
+        // The paper's Figure 2 date.
+        assert_eq!(days_from_civil(1998, 9, 1).unwrap(), 10_470);
+    }
+
+    #[test]
+    fn round_trip_over_a_wide_range() {
+        for days in (-200_000..200_000).step_by(373) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d).unwrap(), days, "{y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(is_leap(1996));
+        assert!(!is_leap(1999));
+        assert!(days_from_civil(2000, 2, 29).is_ok());
+        assert!(days_from_civil(1900, 2, 29).is_err());
+    }
+
+    #[test]
+    fn parse_iso_and_oracle_styles() {
+        assert_eq!(parse_date("1998-09-01").unwrap(), 10_470);
+        assert_eq!(parse_date("01-SEP-98").unwrap(), 10_470);
+        assert_eq!(parse_date("01-sep-1998").unwrap(), 10_470);
+        // Two-digit pivot: 69 → 2069, 70 → 1970.
+        assert_eq!(parse_date("01-JAN-70").unwrap(), 0);
+        let (y, _, _) = civil_from_days(parse_date("01-JAN-69").unwrap());
+        assert_eq!(y, 2069);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "1998",
+            "1998-13-01",
+            "31-FEB-98",
+            "aa-bb-cc",
+            "1-2",
+            "01-SEPT-98",
+        ] {
+            assert!(parse_date(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(days_from_civil(2001, 0, 1).is_err());
+        assert!(days_from_civil(2001, 13, 1).is_err());
+        assert!(days_from_civil(2001, 4, 31).is_err());
+        assert!(days_from_civil(2001, 4, 0).is_err());
+    }
+}

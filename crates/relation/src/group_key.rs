@@ -1,0 +1,134 @@
+//! Group keys: tuples of grouping-column values identifying one group.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::relation::Relation;
+use crate::schema::ColumnId;
+use crate::value::Value;
+
+/// The values of the grouping columns identifying one group.
+///
+/// An empty key is the single group of a no-group-by query (the paper's
+/// `T = ∅` grouping). Keys order lexicographically by their values, which
+/// gives deterministic result ordering in query output.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GroupKey(Vec<Value>);
+
+impl GroupKey {
+    /// Key from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        GroupKey(values)
+    }
+
+    /// The empty key (no-group-by query).
+    pub fn empty() -> Self {
+        GroupKey(Vec::new())
+    }
+
+    /// Extract the key for `row` over the given grouping columns.
+    pub fn from_row(rel: &Relation, row: usize, cols: &[ColumnId]) -> Self {
+        GroupKey(cols.iter().map(|&c| rel.value(row, c)).collect())
+    }
+
+    /// The key's values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Number of grouping columns in the key.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the empty (no-group-by) key.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Project this key onto a subset of its positions. Used to map a
+    /// finest-grouping key to the key of its super-group under a coarser
+    /// grouping `T ⊆ G` (the paper's subgroup relation in §4.6).
+    pub fn project(&self, positions: &[usize]) -> GroupKey {
+        GroupKey(positions.iter().map(|&p| self.0[p].clone()).collect())
+    }
+}
+
+impl From<Vec<Value>> for GroupKey {
+    fn from(v: Vec<Value>) -> Self {
+        GroupKey(v)
+    }
+}
+
+impl fmt::Display for GroupKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "⟨⟩");
+        }
+        write!(f, "⟨")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::relation::RelationBuilder;
+
+    #[test]
+    fn from_row_extracts_in_order() {
+        let mut b = RelationBuilder::new()
+            .column("a", DataType::Str)
+            .column("b", DataType::Int);
+        b.push_row(&[Value::str("x"), Value::Int(1)]).unwrap();
+        let r = b.finish();
+        let k = GroupKey::from_row(&r, 0, &[ColumnId(1), ColumnId(0)]);
+        assert_eq!(k.values(), &[Value::Int(1), Value::str("x")]);
+    }
+
+    #[test]
+    fn empty_key_semantics() {
+        let k = GroupKey::empty();
+        assert!(k.is_empty());
+        assert_eq!(k.len(), 0);
+        assert_eq!(k, GroupKey::new(vec![]));
+        assert_eq!(k.to_string(), "⟨⟩");
+    }
+
+    #[test]
+    fn projection_to_supergroup() {
+        let fine = GroupKey::new(vec![Value::str("a1"), Value::str("b2"), Value::Int(3)]);
+        // grouping on positions {0, 2} of the finest key
+        let coarse = fine.project(&[0, 2]);
+        assert_eq!(coarse.values(), &[Value::str("a1"), Value::Int(3)]);
+        // empty projection collapses everything into one group
+        assert_eq!(fine.project(&[]), GroupKey::empty());
+    }
+
+    #[test]
+    fn keys_order_lexicographically() {
+        let mut keys = [
+            GroupKey::new(vec![Value::str("b"), Value::Int(1)]),
+            GroupKey::new(vec![Value::str("a"), Value::Int(9)]),
+            GroupKey::new(vec![Value::str("a"), Value::Int(2)]),
+        ];
+        keys.sort();
+        assert_eq!(keys[0].values()[0], Value::str("a"));
+        assert_eq!(keys[0].values()[1], Value::Int(2));
+        assert_eq!(keys[2].values()[0], Value::str("b"));
+    }
+
+    #[test]
+    fn display_joins_values() {
+        let k = GroupKey::new(vec![Value::str("A"), Value::str("F")]);
+        assert_eq!(k.to_string(), "⟨A, F⟩");
+    }
+}

@@ -1,0 +1,466 @@
+//! Predicate AST and vectorized evaluation.
+//!
+//! The paper's workload needs equality and range predicates over single
+//! columns (`Q_{g0}`'s `s <= l_id <= s+c`, TPC-D Q1's `l_shipdate <=
+//! '01-SEP-98'`) plus boolean combinations. Predicates evaluate to a
+//! selection bitmap over a [`Relation`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::column::Column;
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::schema::ColumnId;
+use crate::value::Value;
+
+/// Comparison operator for scalar predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn apply(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A boolean predicate over relation rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true (no WHERE clause).
+    True,
+    /// `col <op> literal`
+    Cmp {
+        /// Column operand.
+        col: ColumnId,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal operand.
+        value: Value,
+    },
+    /// `lo <= col <= hi` (inclusive on both ends, like SQL BETWEEN).
+    Between {
+        /// Column operand.
+        col: ColumnId,
+        /// Inclusive lower bound.
+        lo: Value,
+        /// Inclusive upper bound.
+        hi: Value,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `col = value`
+    pub fn eq(col: ColumnId, value: impl Into<Value>) -> Predicate {
+        Predicate::Cmp {
+            col,
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// `col <= value`
+    pub fn le(col: ColumnId, value: impl Into<Value>) -> Predicate {
+        Predicate::Cmp {
+            col,
+            op: CmpOp::Le,
+            value: value.into(),
+        }
+    }
+
+    /// `col >= value`
+    pub fn ge(col: ColumnId, value: impl Into<Value>) -> Predicate {
+        Predicate::Cmp {
+            col,
+            op: CmpOp::Ge,
+            value: value.into(),
+        }
+    }
+
+    /// `lo <= col <= hi`
+    pub fn between(col: ColumnId, lo: impl Into<Value>, hi: impl Into<Value>) -> Predicate {
+        Predicate::Between {
+            col,
+            lo: lo.into(),
+            hi: hi.into(),
+        }
+    }
+
+    /// `self AND other`
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Evaluate on a single row.
+    pub fn eval_row(&self, rel: &Relation, row: usize) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Cmp { col, op, value } => {
+                let v = rel.column(*col).value(row);
+                cmp_values(&v, value).map(|o| op.apply(o)).unwrap_or(false)
+            }
+            Predicate::Between { col, lo, hi } => {
+                let v = rel.column(*col).value(row);
+                matches!(cmp_values(&v, lo), Some(o) if o != std::cmp::Ordering::Less)
+                    && matches!(cmp_values(&v, hi), Some(o) if o != std::cmp::Ordering::Greater)
+            }
+            Predicate::And(a, b) => a.eval_row(rel, row) && b.eval_row(rel, row),
+            Predicate::Or(a, b) => a.eval_row(rel, row) || b.eval_row(rel, row),
+            Predicate::Not(a) => !a.eval_row(rel, row),
+        }
+    }
+
+    /// Evaluate over the whole relation into a selection bitmap.
+    ///
+    /// Single-column comparisons take a vectorized fast path over the raw
+    /// column storage; boolean combinators combine child bitmaps.
+    pub fn eval(&self, rel: &Relation) -> Vec<bool> {
+        match self {
+            Predicate::True => vec![true; rel.row_count()],
+            Predicate::Cmp { col, op, value } => eval_cmp_vectorized(rel.column(*col), *op, value)
+                .unwrap_or_else(|| {
+                    (0..rel.row_count())
+                        .map(|r| self.eval_row(rel, r))
+                        .collect()
+                }),
+            Predicate::Between { col, lo, hi } => {
+                let mut a = eval_cmp_vectorized(rel.column(*col), CmpOp::Ge, lo);
+                let b = eval_cmp_vectorized(rel.column(*col), CmpOp::Le, hi);
+                match (&mut a, b) {
+                    (Some(a), Some(b)) => {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x &= y;
+                        }
+                        a.clone()
+                    }
+                    _ => (0..rel.row_count())
+                        .map(|r| self.eval_row(rel, r))
+                        .collect(),
+                }
+            }
+            Predicate::And(a, b) => {
+                let mut m = a.eval(rel);
+                for (x, y) in m.iter_mut().zip(b.eval(rel)) {
+                    *x &= y;
+                }
+                m
+            }
+            Predicate::Or(a, b) => {
+                let mut m = a.eval(rel);
+                for (x, y) in m.iter_mut().zip(b.eval(rel)) {
+                    *x |= y;
+                }
+                m
+            }
+            Predicate::Not(a) => {
+                let mut m = a.eval(rel);
+                for x in m.iter_mut() {
+                    *x = !*x;
+                }
+                m
+            }
+        }
+    }
+
+    /// Row indices satisfying the predicate.
+    pub fn selected_rows(&self, rel: &Relation) -> Vec<usize> {
+        self.eval(rel)
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.then_some(i))
+            .collect()
+    }
+
+    /// Fraction of rows satisfying the predicate.
+    pub fn selectivity(&self, rel: &Relation) -> f64 {
+        if rel.row_count() == 0 {
+            return 0.0;
+        }
+        let n = self.eval(rel).iter().filter(|&&b| b).count();
+        n as f64 / rel.row_count() as f64
+    }
+
+    /// Validate that every referenced column exists in the schema.
+    pub fn validate(&self, rel: &Relation) -> Result<()> {
+        match self {
+            Predicate::True => Ok(()),
+            Predicate::Cmp { col, .. } | Predicate::Between { col, .. } => {
+                rel.schema().field(*col).map(|_| ())
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.validate(rel)?;
+                b.validate(rel)
+            }
+            Predicate::Not(a) => a.validate(rel),
+        }
+    }
+}
+
+/// Compare two values of (possibly) mixed numeric types.
+fn cmp_values(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => Some(x.cmp(y)),
+        (Value::Str(_), _) | (_, Value::Str(_)) => None,
+        _ => {
+            let (x, y) = (a.as_f64()?, b.as_f64()?);
+            Some(x.total_cmp(&y))
+        }
+    }
+}
+
+/// Vectorized comparison over raw column storage. Returns `None` when the
+/// literal's type is incompatible with the column (the caller falls back to
+/// the row-at-a-time path, which yields all-false for such predicates).
+fn eval_cmp_vectorized(col: &Column, op: CmpOp, value: &Value) -> Option<Vec<bool>> {
+    match (col, value) {
+        (Column::Int(v), _) => {
+            let lit = value.as_f64()?;
+            Some(
+                v.iter()
+                    .map(|&x| op.apply((x as f64).total_cmp(&lit)))
+                    .collect(),
+            )
+        }
+        (Column::Float(v), _) => {
+            let lit = value.as_f64()?;
+            Some(v.iter().map(|&x| op.apply(x.total_cmp(&lit))).collect())
+        }
+        (Column::Date(v), _) => {
+            let lit = value.as_f64()?;
+            Some(
+                v.iter()
+                    .map(|&x| op.apply((x as f64).total_cmp(&lit)))
+                    .collect(),
+            )
+        }
+        (Column::Str(v), Value::Str(s)) => {
+            // Equality on dictionary columns compares codes.
+            match op {
+                CmpOp::Eq => {
+                    let code = v.lookup(s);
+                    Some(match code {
+                        Some(c) => v.codes().iter().map(|&x| x == c).collect(),
+                        None => vec![false; v.len()],
+                    })
+                }
+                CmpOp::Ne => {
+                    let code = v.lookup(s);
+                    Some(match code {
+                        Some(c) => v.codes().iter().map(|&x| x != c).collect(),
+                        None => vec![true; v.len()],
+                    })
+                }
+                _ => Some(
+                    (0..v.len())
+                        .map(|r| op.apply(v.get(r).as_ref().cmp(s)))
+                        .collect(),
+                ),
+            }
+        }
+        (Column::Str(_), _) => None,
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::Cmp { col, op, value } => write!(f, "{col} {op} {value}"),
+            Predicate::Between { col, lo, hi } => write!(f, "{col} BETWEEN {lo} AND {hi}"),
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(a) => write!(f, "NOT ({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::relation::RelationBuilder;
+
+    fn rel() -> Relation {
+        let mut b = RelationBuilder::new()
+            .column("id", DataType::Int)
+            .column("flag", DataType::Str)
+            .column("qty", DataType::Float)
+            .column("ship", DataType::Date);
+        let rows: [(i64, &str, f64, i32); 5] = [
+            (1, "A", 10.0, 100),
+            (2, "N", 20.0, 200),
+            (3, "N", 30.0, 300),
+            (4, "R", 40.0, 400),
+            (5, "A", 50.0, 500),
+        ];
+        for (id, fl, q, d) in rows {
+            b.push_row(&[
+                Value::Int(id),
+                Value::str(fl),
+                Value::from(q),
+                Value::Date(d),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn cmp_int_range() {
+        let r = rel();
+        let p = Predicate::between(ColumnId(0), 2i64, 4i64);
+        assert_eq!(p.eval(&r), vec![false, true, true, true, false]);
+        assert_eq!(p.selected_rows(&r), vec![1, 2, 3]);
+        assert!((p.selectivity(&r) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn str_equality_uses_dictionary() {
+        let r = rel();
+        let p = Predicate::eq(ColumnId(1), "N");
+        assert_eq!(p.eval(&r), vec![false, true, true, false, false]);
+        // Unknown string matches nothing.
+        let p = Predicate::eq(ColumnId(1), "ZZZ");
+        assert_eq!(p.eval(&r), vec![false; 5]);
+        // Ne of unknown string matches everything.
+        let p = Predicate::Cmp {
+            col: ColumnId(1),
+            op: CmpOp::Ne,
+            value: Value::str("ZZZ"),
+        };
+        assert_eq!(p.eval(&r), vec![true; 5]);
+    }
+
+    #[test]
+    fn str_range_lexicographic() {
+        let r = rel();
+        let p = Predicate::le(ColumnId(1), "M"); // only "A" <= "M"
+        assert_eq!(p.eval(&r), vec![true, false, false, false, true]);
+    }
+
+    #[test]
+    fn date_le_mirrors_tpcd_q1() {
+        let r = rel();
+        let p = Predicate::le(ColumnId(3), Value::Date(300));
+        assert_eq!(p.selected_rows(&r), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let r = rel();
+        let p = Predicate::eq(ColumnId(1), "N").and(Predicate::ge(ColumnId(2), 25.0));
+        assert_eq!(p.selected_rows(&r), vec![2]);
+        let p = Predicate::eq(ColumnId(1), "A").or(Predicate::eq(ColumnId(1), "R"));
+        assert_eq!(p.selected_rows(&r), vec![0, 3, 4]);
+        let p = Predicate::eq(ColumnId(1), "A").not();
+        assert_eq!(p.selected_rows(&r), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn true_selects_all() {
+        let r = rel();
+        assert_eq!(Predicate::True.selected_rows(&r).len(), 5);
+        assert_eq!(Predicate::True.selectivity(&r), 1.0);
+    }
+
+    #[test]
+    fn row_and_vectorized_paths_agree() {
+        let r = rel();
+        let preds = vec![
+            Predicate::between(ColumnId(0), 2i64, 4i64),
+            Predicate::eq(ColumnId(1), "N"),
+            Predicate::le(ColumnId(3), Value::Date(250)),
+            Predicate::ge(ColumnId(2), 30.0).and(Predicate::eq(ColumnId(1), "R").not()),
+        ];
+        for p in preds {
+            let vectorized = p.eval(&r);
+            let scalar: Vec<bool> = (0..r.row_count()).map(|i| p.eval_row(&r, i)).collect();
+            assert_eq!(vectorized, scalar, "mismatch for {p}");
+        }
+    }
+
+    #[test]
+    fn type_incompatible_predicate_is_false() {
+        let r = rel();
+        // string literal against int column
+        let p = Predicate::eq(ColumnId(0), "x");
+        assert_eq!(p.eval(&r), vec![false; 5]);
+    }
+
+    #[test]
+    fn validate_checks_columns() {
+        let r = rel();
+        assert!(Predicate::eq(ColumnId(0), 1i64).validate(&r).is_ok());
+        assert!(Predicate::eq(ColumnId(42), 1i64).validate(&r).is_err());
+        assert!(Predicate::eq(ColumnId(42), 1i64)
+            .and(Predicate::True)
+            .validate(&r)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_relation_selectivity_zero() {
+        let r = rel().gather(&[]);
+        assert_eq!(Predicate::True.selectivity(&r), 0.0);
+    }
+
+    #[test]
+    fn display_renders_sql_like() {
+        let p = Predicate::between(ColumnId(0), 1i64, 5i64).and(Predicate::eq(ColumnId(1), "A"));
+        let s = p.to_string();
+        assert!(s.contains("BETWEEN") && s.contains("AND"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Schemas: ordered, named, typed column lists.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::datatype::DataType;
+use crate::error::{RelationError, Result};
+
+/// Index of a column within a schema.
+///
+/// A newtype rather than a bare `usize` so that row indices and column
+/// indices cannot be swapped silently at call sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ColumnId(pub usize);
+
+impl ColumnId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A named, typed column declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name, unique within the schema.
+    pub name: String,
+    /// Column data type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An immutable ordered list of [`Field`]s.
+///
+/// Wrapped in `Arc` by [`crate::Relation`] so that derived relations
+/// (filtered / sampled views materialized as new relations) share the schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Arc<[Field]>,
+}
+
+impl Schema {
+    /// Build a schema from fields, rejecting duplicate names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(RelationError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema {
+            fields: fields.into(),
+        })
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at `id`, or an error if out of range.
+    pub fn field(&self, id: ColumnId) -> Result<&Field> {
+        self.fields
+            .get(id.0)
+            .ok_or(RelationError::ColumnIdOutOfRange {
+                id: id.0,
+                width: self.fields.len(),
+            })
+    }
+
+    /// Look up a column id by name.
+    pub fn column_id(&self, name: &str) -> Result<ColumnId> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .map(ColumnId)
+            .ok_or_else(|| RelationError::UnknownColumn(name.to_string()))
+    }
+
+    /// Look up several column ids by name.
+    pub fn column_ids(&self, names: &[&str]) -> Result<Vec<ColumnId>> {
+        names.iter().map(|n| self.column_id(n)).collect()
+    }
+
+    /// Data type of the column at `id`.
+    pub fn data_type(&self, id: ColumnId) -> Result<DataType> {
+        Ok(self.field(id)?.data_type)
+    }
+
+    /// A new schema with `extra` fields appended (used by the rewrite layer
+    /// to add a ScaleFactor or GID column to a sample relation).
+    pub fn with_appended(&self, extra: Vec<Field>) -> Result<Schema> {
+        let mut fields: Vec<Field> = self.fields.to_vec();
+        fields.extend(extra);
+        Schema::new(fields)
+    }
+
+    /// A new schema keeping only the given columns, in the given order.
+    pub fn project(&self, ids: &[ColumnId]) -> Result<Schema> {
+        let fields = ids
+            .iter()
+            .map(|&id| self.field(id).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        Schema::new(fields)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Str),
+            Field::new("c", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let s = abc();
+        assert_eq!(s.width(), 3);
+        assert_eq!(s.column_id("b").unwrap(), ColumnId(1));
+        assert_eq!(s.data_type(ColumnId(2)).unwrap(), DataType::Float);
+        assert!(matches!(
+            s.column_id("zz"),
+            Err(RelationError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            s.field(ColumnId(9)),
+            Err(RelationError::ColumnIdOutOfRange { id: 9, width: 3 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Schema::new(vec![
+            Field::new("x", DataType::Int),
+            Field::new("x", DataType::Str),
+        ]);
+        assert!(matches!(r, Err(RelationError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn append_and_project() {
+        let s = abc();
+        let s2 = s
+            .with_appended(vec![Field::new("sf", DataType::Float)])
+            .unwrap();
+        assert_eq!(s2.width(), 4);
+        assert_eq!(s2.column_id("sf").unwrap(), ColumnId(3));
+        // appending a duplicate fails
+        assert!(s
+            .with_appended(vec![Field::new("a", DataType::Int)])
+            .is_err());
+
+        let p = s.project(&[ColumnId(2), ColumnId(0)]).unwrap();
+        assert_eq!(p.fields()[0].name, "c");
+        assert_eq!(p.fields()[1].name, "a");
+    }
+
+    #[test]
+    fn column_ids_batch() {
+        let s = abc();
+        assert_eq!(
+            s.column_ids(&["c", "a"]).unwrap(),
+            vec![ColumnId(2), ColumnId(0)]
+        );
+        assert!(s.column_ids(&["a", "nope"]).is_err());
+    }
+
+    #[test]
+    fn display_lists_fields() {
+        let s = abc();
+        assert_eq!(s.to_string(), "(a: Int, b: Str, c: Float)");
+    }
+}

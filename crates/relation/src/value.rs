@@ -1,0 +1,243 @@
+//! Scalar values and a totally-ordered `f64` wrapper.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::datatype::DataType;
+
+/// An `f64` with total order, `Eq`, and `Hash`.
+///
+/// Group keys and dictionary entries must be hashable; IEEE floats are not.
+/// `F64` normalizes all NaNs to a single canonical bit pattern and orders via
+/// [`f64::total_cmp`], so `F64(NaN) == F64(NaN)` and negative zero compares
+/// below positive zero — a deterministic order suitable for grouping.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct F64(f64);
+
+impl F64 {
+    /// Wrap a float, canonicalizing NaN.
+    pub fn new(v: f64) -> Self {
+        if v.is_nan() {
+            F64(f64::NAN)
+        } else {
+            F64(v)
+        }
+    }
+
+    /// The wrapped float.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+impl Eq for F64 {}
+
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Hash for F64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl From<f64> for F64 {
+    fn from(v: f64) -> Self {
+        F64::new(v)
+    }
+}
+
+impl fmt::Display for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A scalar value of one of the supported [`DataType`]s.
+///
+/// `Str` holds an `Arc<str>` so that cloning values out of a dictionary (as
+/// group keys do, potentially millions of times per query) is a refcount
+/// bump, not an allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Totally-ordered 64-bit float.
+    Float(F64),
+    /// Shared UTF-8 string.
+    Str(Arc<str>),
+    /// Days since the Unix epoch.
+    Date(i32),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// The value's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Str(_) => DataType::Str,
+            Value::Date(_) => DataType::Date,
+        }
+    }
+
+    /// Numeric view of the value, if it has one. Dates convert to their
+    /// day number so they can participate in MIN/MAX aggregates.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(v.get()),
+            Value::Date(v) => Some(*v as f64),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Integer view, if the value is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view, if the value is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Date view, if the value is a `Date`.
+    pub fn as_date(&self) -> Option<i32> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(F64::new(v))
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "d{d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn f64_nan_is_canonical() {
+        let a = F64::new(f64::NAN);
+        let b = F64::new(-f64::NAN);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn f64_total_order() {
+        let mut v = [
+            F64::new(1.0),
+            F64::new(-1.0),
+            F64::new(0.0),
+            F64::new(f64::INFINITY),
+            F64::new(f64::NEG_INFINITY),
+        ];
+        v.sort();
+        assert_eq!(
+            v.iter().map(|x| x.get()).collect::<Vec<_>>(),
+            vec![f64::NEG_INFINITY, -1.0, 0.0, 1.0, f64::INFINITY]
+        );
+    }
+
+    #[test]
+    fn value_type_and_views() {
+        assert_eq!(Value::Int(7).data_type(), DataType::Int);
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Date(10).as_f64(), Some(10.0));
+        assert_eq!(Value::str("ab").as_f64(), None);
+        assert_eq!(Value::str("ab").as_str(), Some("ab"));
+        assert_eq!(Value::Date(3).as_date(), Some(3));
+        assert_eq!(Value::Int(3).as_date(), None);
+    }
+
+    #[test]
+    fn value_equality_and_hash_consistency() {
+        let a = Value::str("hello");
+        let b = Value::str(String::from("hello"));
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_ne!(Value::Int(1), Value::Date(1));
+    }
+
+    #[test]
+    fn string_clone_is_shared() {
+        let a = Value::str("shared");
+        let b = a.clone();
+        if let (Value::Str(x), Value::Str(y)) = (&a, &b) {
+            assert!(Arc::ptr_eq(x, y));
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::from(1.5).to_string(), "1.5");
+        assert_eq!(Value::str("x").to_string(), "x");
+        assert_eq!(Value::Date(9).to_string(), "d9");
+    }
+}

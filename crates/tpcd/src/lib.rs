@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! TPC-D-style test data and queries, as modified by the paper (§7.1.1).
+//!
+//! The paper evaluates on the TPC-D `lineitem` table after replacing its
+//! near-uniform group structure with controlled skew: group sizes follow a
+//! Zipf distribution with parameter `z ∈ [0, 1.5]` over the groups at the
+//! finest grouping `{l_returnflag, l_linestatus, l_shipdate}`, aggregate
+//! columns follow Zipf(0.86) (the classic 90-10 rule), the number of
+//! groups varies from 10 to 200K with `NG^(1/3)` distinct values per
+//! grouping column, and `l_id` is a uniformly-shuffled key so that range
+//! predicates on it select uniformly across groups (query set `Q_{g0}`).
+//!
+//! This crate regenerates that data deterministically ([`gen`]) and builds
+//! the three query shapes of Table 2 ([`queries`]).
+
+pub mod gen;
+pub mod lineitem;
+pub mod queries;
+pub mod star;
+pub mod zipf;
+
+pub use gen::{GeneratorConfig, TpcdDataset};
+pub use lineitem::LineitemSchema;
+pub use queries::{q_g0, q_g0_set, q_g2, q_g3};
+pub use star::{StarConfig, StarSchema};
+pub use zipf::{zipf_sizes, Zipf};

@@ -1,0 +1,108 @@
+//! The paper's `lineitem` schema (§7.1.1).
+//!
+//! | Attribute | Type | Role |
+//! |---|---|---|
+//! | `l_id` | int (1, 2, …) | primary key (added by the authors for `Q_{g0}`) |
+//! | `l_returnflag` | int | grouping |
+//! | `l_linestatus` | int | grouping |
+//! | `l_shipdate` | date | grouping |
+//! | `l_quantity` | float | aggregation |
+//! | `l_extendedprice` | float | aggregation |
+
+use relation::{ColumnId, DataType, Field, Relation, Schema};
+
+/// Resolved column ids of the lineitem table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineitemSchema {
+    /// `l_id` — synthetic primary key.
+    pub l_id: ColumnId,
+    /// `l_returnflag` — grouping.
+    pub l_returnflag: ColumnId,
+    /// `l_linestatus` — grouping.
+    pub l_linestatus: ColumnId,
+    /// `l_shipdate` — grouping.
+    pub l_shipdate: ColumnId,
+    /// `l_quantity` — aggregation.
+    pub l_quantity: ColumnId,
+    /// `l_extendedprice` — aggregation.
+    pub l_extendedprice: ColumnId,
+}
+
+impl LineitemSchema {
+    /// The schema definition, in declaration order.
+    pub fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("l_id", DataType::Int),
+            Field::new("l_returnflag", DataType::Int),
+            Field::new("l_linestatus", DataType::Int),
+            Field::new("l_shipdate", DataType::Date),
+            Field::new("l_quantity", DataType::Float),
+            Field::new("l_extendedprice", DataType::Float),
+        ])
+        .expect("static schema is valid")
+    }
+
+    /// Fixed column ids matching [`Self::schema`].
+    pub fn ids() -> LineitemSchema {
+        LineitemSchema {
+            l_id: ColumnId(0),
+            l_returnflag: ColumnId(1),
+            l_linestatus: ColumnId(2),
+            l_shipdate: ColumnId(3),
+            l_quantity: ColumnId(4),
+            l_extendedprice: ColumnId(5),
+        }
+    }
+
+    /// Resolve ids from an existing relation (validates it is lineitem-shaped).
+    pub fn resolve(rel: &Relation) -> relation::Result<LineitemSchema> {
+        let s = rel.schema();
+        Ok(LineitemSchema {
+            l_id: s.column_id("l_id")?,
+            l_returnflag: s.column_id("l_returnflag")?,
+            l_linestatus: s.column_id("l_linestatus")?,
+            l_shipdate: s.column_id("l_shipdate")?,
+            l_quantity: s.column_id("l_quantity")?,
+            l_extendedprice: s.column_id("l_extendedprice")?,
+        })
+    }
+
+    /// The three grouping columns, in the paper's order.
+    pub fn grouping_columns(&self) -> Vec<ColumnId> {
+        vec![self.l_returnflag, self.l_linestatus, self.l_shipdate]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape() {
+        let s = LineitemSchema::schema();
+        assert_eq!(s.width(), 6);
+        assert_eq!(s.fields()[0].name, "l_id");
+        assert_eq!(s.fields()[3].data_type, DataType::Date);
+        assert_eq!(s.fields()[4].data_type, DataType::Float);
+    }
+
+    #[test]
+    fn ids_match_schema_order() {
+        let ids = LineitemSchema::ids();
+        let s = LineitemSchema::schema();
+        assert_eq!(s.column_id("l_id").unwrap(), ids.l_id);
+        assert_eq!(s.column_id("l_shipdate").unwrap(), ids.l_shipdate);
+        assert_eq!(s.column_id("l_extendedprice").unwrap(), ids.l_extendedprice);
+        assert_eq!(
+            ids.grouping_columns(),
+            vec![ids.l_returnflag, ids.l_linestatus, ids.l_shipdate]
+        );
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let rel = Relation::empty(LineitemSchema::schema());
+        let ids = LineitemSchema::resolve(&rel).unwrap();
+        assert_eq!(ids, LineitemSchema::ids());
+    }
+}

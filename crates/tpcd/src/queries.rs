@@ -1,0 +1,140 @@
+//! The paper's query sets (Table 2).
+//!
+//! * `Q_{g2}` — two grouping columns, two SUM aggregates (derived from
+//!   TPC-D Query 3).
+//! * `Q_{g3}` — all three grouping columns, the finest partitioning.
+//! * `Q_{g0}` — no grouping, `SUM(l_quantity)` over an `l_id` range of
+//!   width `c` starting at a random `s` (20 such queries in §7.1.1, with
+//!   `c = 70K` ≈ 7% selectivity at `T = 1M`).
+
+use engine::{AggregateSpec, GroupByQuery};
+use rand::Rng;
+use relation::{Expr, Predicate, Value};
+
+use crate::lineitem::LineitemSchema;
+
+/// `SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice)
+/// FROM lineitem GROUP BY l_returnflag, l_linestatus`.
+pub fn q_g2(ids: &LineitemSchema) -> GroupByQuery {
+    GroupByQuery::new(
+        vec![ids.l_returnflag, ids.l_linestatus],
+        vec![
+            AggregateSpec::sum(Expr::col(ids.l_quantity), "sum_l_quantity"),
+            AggregateSpec::sum(Expr::col(ids.l_extendedprice), "sum_l_extendedprice"),
+        ],
+    )
+}
+
+/// `SELECT l_returnflag, l_linestatus, l_shipdate, SUM(l_quantity)
+/// FROM lineitem GROUP BY l_returnflag, l_linestatus, l_shipdate`.
+pub fn q_g3(ids: &LineitemSchema) -> GroupByQuery {
+    GroupByQuery::new(
+        vec![ids.l_returnflag, ids.l_linestatus, ids.l_shipdate],
+        vec![AggregateSpec::sum(
+            Expr::col(ids.l_quantity),
+            "sum_l_quantity",
+        )],
+    )
+}
+
+/// `SELECT SUM(l_quantity) FROM lineitem WHERE s ≤ l_id ≤ s + c`.
+pub fn q_g0(ids: &LineitemSchema, s: i64, c: i64) -> GroupByQuery {
+    GroupByQuery::new(
+        vec![],
+        vec![AggregateSpec::sum(
+            Expr::col(ids.l_quantity),
+            "sum_l_quantity",
+        )],
+    )
+    .with_predicate(Predicate::between(
+        ids.l_id,
+        Value::Int(s),
+        Value::Int(s + c),
+    ))
+}
+
+/// The §7.1.1 `Q_{g0}` workload: `n` queries with `s` drawn uniformly from
+/// `[1, table_size − c]` and fixed range width `c`.
+pub fn q_g0_set<R: Rng>(
+    ids: &LineitemSchema,
+    n: usize,
+    table_size: usize,
+    c: i64,
+    rng: &mut R,
+) -> Vec<GroupByQuery> {
+    let hi = (table_size as i64 - c).max(1);
+    (0..n)
+        .map(|_| q_g0(ids, rng.gen_range(1..=hi), c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GeneratorConfig, TpcdDataset};
+    use engine::execute_exact;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> TpcdDataset {
+        TpcdDataset::generate(GeneratorConfig {
+            table_size: 10_000,
+            num_groups: 27,
+            group_skew: 0.86,
+            agg_skew: 0.86,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn qg2_shape_and_execution() {
+        let ds = dataset();
+        let q = q_g2(&ds.ids);
+        assert_eq!(q.grouping.len(), 2);
+        assert_eq!(q.aggregates.len(), 2);
+        let r = execute_exact(&ds.relation, &q).unwrap();
+        // 3 distinct values per column → 9 (returnflag, linestatus) pairs.
+        assert_eq!(r.group_count(), 9);
+    }
+
+    #[test]
+    fn qg3_is_finest_grouping() {
+        let ds = dataset();
+        let r = execute_exact(&ds.relation, &q_g3(&ds.ids)).unwrap();
+        assert_eq!(r.group_count(), 27);
+        // Total over all groups equals the ungrouped SUM.
+        let total: f64 = r.rows().iter().map(|(_, v)| v[0]).sum();
+        let all = execute_exact(&ds.relation, &q_g0(&ds.ids, 1, 10_000)).unwrap();
+        assert!((total - all.scalar().unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn qg0_selectivity_matches_range() {
+        let ds = dataset();
+        let q = q_g0(&ds.ids, 1_000, 700);
+        assert!(q.is_scalar());
+        let sel = q.predicate.selectivity(&ds.relation);
+        assert!((sel - 701.0 / 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qg0_set_randomizes_start() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(83);
+        let qs = q_g0_set(&ds.ids, 20, 10_000, 700, &mut rng);
+        assert_eq!(qs.len(), 20);
+        // All selectivities ≈ 7%, starts differ.
+        let sels: Vec<f64> = qs
+            .iter()
+            .map(|q| q.predicate.selectivity(&ds.relation))
+            .collect();
+        for &s in &sels {
+            assert!((s - 0.07).abs() < 0.001, "{s}");
+        }
+        let preds: Vec<String> = qs.iter().map(|q| q.predicate.to_string()).collect();
+        let mut uniq = preds.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert!(uniq.len() > 10, "starts should vary");
+    }
+}

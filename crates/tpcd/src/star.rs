@@ -1,0 +1,202 @@
+//! A star-schema slice of TPC-D: `lineitem` facts with an `orders`
+//! dimension, for exercising **join synopses** (§2).
+//!
+//! The paper reduces multi-table warehouses to the single-relation case:
+//! *"join synopses ... can be viewed as uniform random samples on the
+//! results of all the interesting joins ... any join query involving
+//! multiple tables on the warehouse can be conceptually rewritten as a
+//! query on a single join synopsis relation."* This module generates the
+//! fact + dimension pair and materializes the join-synopsis relation that
+//! congressional samples are then taken over.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use engine::join::foreign_key_join;
+use relation::{Column, ColumnId, DataType, Field, Relation, Schema};
+
+use crate::gen::{GeneratorConfig, TpcdDataset};
+use crate::zipf::Zipf;
+
+/// Configuration for the star-schema generator.
+#[derive(Debug, Clone, Copy)]
+pub struct StarConfig {
+    /// Fact-table (lineitem) configuration.
+    pub lineitem: GeneratorConfig,
+    /// Number of orders in the dimension table.
+    pub orders: usize,
+    /// Skew of order-priority popularity (Zipf z).
+    pub priority_skew: f64,
+}
+
+impl Default for StarConfig {
+    fn default() -> Self {
+        StarConfig {
+            lineitem: GeneratorConfig::default(),
+            orders: 10_000,
+            priority_skew: 0.5,
+        }
+    }
+}
+
+/// A generated star schema: lineitem facts (with `l_orderkey` appended)
+/// and the `orders` dimension.
+#[derive(Debug, Clone)]
+pub struct StarSchema {
+    /// The fact table: the standard lineitem schema plus `l_orderkey`.
+    pub lineitem: Relation,
+    /// The dimension: `(o_orderkey, o_orderpriority, o_orderdate)`.
+    pub orders: Relation,
+    /// `l_orderkey`'s column id within `lineitem`.
+    pub l_orderkey: ColumnId,
+    /// `o_orderkey`'s column id within `orders`.
+    pub o_orderkey: ColumnId,
+}
+
+impl StarSchema {
+    /// Generate the pair; deterministic in the lineitem seed.
+    pub fn generate(config: StarConfig) -> StarSchema {
+        assert!(config.orders >= 1, "need at least one order");
+        let base = TpcdDataset::generate(config.lineitem);
+        let mut rng = StdRng::seed_from_u64(config.lineitem.seed ^ 0x0DDC0FFE);
+
+        // Orders dimension: 5 named priorities with Zipf-skewed popularity.
+        let priorities = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+        let pr_dist = Zipf::new(priorities.len(), config.priority_skew);
+        let keys: Vec<i64> = (1..=config.orders as i64).collect();
+        let mut pr_col = relation::column::StrColumn::new();
+        let mut date_col = Vec::with_capacity(config.orders);
+        for _ in 0..config.orders {
+            pr_col.push(priorities[pr_dist.sample(&mut rng) - 1].into());
+            date_col.push(rng.gen_range(9_000..11_500));
+        }
+        let orders = Relation::new(
+            Schema::new(vec![
+                Field::new("o_orderkey", DataType::Int),
+                Field::new("o_orderpriority", DataType::Str),
+                Field::new("o_orderdate", DataType::Date),
+            ])
+            .expect("static schema"),
+            vec![
+                Column::Int(keys),
+                Column::Str(pr_col),
+                Column::Date(date_col),
+            ],
+        )
+        .expect("columns match schema");
+
+        // Each lineitem references a uniformly random order.
+        let fk: Vec<i64> = (0..base.relation.row_count())
+            .map(|_| rng.gen_range(1..=config.orders as i64))
+            .collect();
+        let lineitem = base
+            .relation
+            .with_columns(vec![(
+                Field::new("l_orderkey", DataType::Int),
+                Column::Int(fk),
+            )])
+            .expect("appending the FK column");
+        let l_orderkey = lineitem
+            .schema()
+            .column_id("l_orderkey")
+            .expect("just appended");
+
+        StarSchema {
+            lineitem,
+            orders,
+            l_orderkey,
+            o_orderkey: ColumnId(0),
+        }
+    }
+
+    /// Materialize the join-synopsis base relation `lineitem ⋈ orders`
+    /// (dimension columns prefixed `o_`... they already are, so the prefix
+    /// is empty). Congressional samples for multi-table queries are taken
+    /// over THIS relation.
+    pub fn join_relation(&self) -> engine::Result<Relation> {
+        foreign_key_join(
+            &self.lineitem,
+            self.l_orderkey,
+            &self.orders,
+            self.o_orderkey,
+            "",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::{execute_exact, AggregateSpec, GroupByQuery, GroupIndex};
+    use relation::Expr;
+
+    fn small() -> StarConfig {
+        StarConfig {
+            lineitem: GeneratorConfig {
+                table_size: 5_000,
+                num_groups: 8,
+                group_skew: 0.86,
+                agg_skew: 0.86,
+                seed: 77,
+            },
+            orders: 500,
+            priority_skew: 0.5,
+        }
+    }
+
+    #[test]
+    fn generates_consistent_star() {
+        let star = StarSchema::generate(small());
+        assert_eq!(star.lineitem.row_count(), 5_000);
+        assert_eq!(star.orders.row_count(), 500);
+        assert_eq!(star.lineitem.schema().width(), 7); // 6 + l_orderkey
+                                                       // Every FK resolves.
+        let joined = star.join_relation().unwrap();
+        assert_eq!(joined.row_count(), 5_000);
+        assert_eq!(joined.schema().width(), 10);
+    }
+
+    #[test]
+    fn join_enables_cross_table_grouping() {
+        let star = StarSchema::generate(small());
+        let joined = star.join_relation().unwrap();
+        let pr = joined.schema().column_id("o_orderpriority").unwrap();
+        let qty = joined.schema().column_id("l_quantity").unwrap();
+        let q = GroupByQuery::new(vec![pr], vec![AggregateSpec::sum(Expr::col(qty), "s")]);
+        let r = execute_exact(&joined, &q).unwrap();
+        assert_eq!(r.group_count(), 5); // the five order priorities
+                                        // Total matches the fact-only total (the FK join is lossless).
+        let total: f64 = r.rows().iter().map(|(_, v)| v[0]).sum();
+        let fact_total = execute_exact(
+            &star.lineitem,
+            &GroupByQuery::new(vec![], vec![AggregateSpec::sum(Expr::col(qty), "s")]),
+        )
+        .unwrap()
+        .scalar()
+        .unwrap();
+        assert!((total - fact_total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn priority_popularity_is_skewed() {
+        let star = StarSchema::generate(StarConfig {
+            priority_skew: 1.5,
+            ..small()
+        });
+        let pr = star.orders.schema().column_id("o_orderpriority").unwrap();
+        let ix = GroupIndex::build(&star.orders, &[pr]);
+        let sizes = ix.group_sizes();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max > min * 3, "skewed priorities: {sizes:?}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = StarSchema::generate(small());
+        let b = StarSchema::generate(small());
+        let ka = a.lineitem.column(a.l_orderkey).as_int().unwrap();
+        let kb = b.lineitem.column(b.l_orderkey).as_int().unwrap();
+        assert_eq!(ka, kb);
+    }
+}

@@ -1,0 +1,191 @@
+//! Zipf distributions, used for both group-size skew and aggregate-value
+//! skew (§7.1.1): "This was done using the Zipf distribution, which is
+//! known to accurately model several real-life distributions."
+
+use rand::Rng;
+
+/// A Zipf(z) distribution over ranks `1..=n`: rank `i` has probability
+/// proportional to `1 / i^z`. `z = 0` is uniform; `z = 0.86` yields the
+/// 90-10 rule the paper fixes for aggregate columns; `z = 1.5` is the most
+/// skewed group-size setting in Table 1.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, `cdf[i] = P(rank ≤ i+1)`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Distribution over `n ≥ 1` ranks with skew `z ≥ 0`.
+    pub fn new(n: usize, z: f64) -> Zipf {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(
+            z >= 0.0 && z.is_finite(),
+            "Zipf skew must be finite and ≥ 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += (i as f64).powf(-z);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against fp drift at the top end.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability of rank `i` (1-based).
+    pub fn pmf(&self, i: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&i));
+        if i == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[i - 1] - self.cdf[i - 2]
+        }
+    }
+
+    /// Draw a rank in `1..=n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index with cdf ≥ u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf has no NaN"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i + 1,
+        }
+        .min(self.cdf.len())
+    }
+}
+
+/// Deterministic group sizes: split `total` tuples over `n` groups in Zipf
+/// proportions, guaranteeing every group at least one tuple (the census
+/// only tracks non-empty groups) and conserving the total exactly via
+/// largest-remainder rounding.
+pub fn zipf_sizes(n: usize, total: u64, z: f64) -> Vec<u64> {
+    assert!(
+        n >= 1 && total >= n as u64,
+        "need at least one tuple per group"
+    );
+    let zipf = Zipf::new(n, z);
+    let spare = total - n as u64; // one tuple pre-reserved per group
+    let quota: Vec<f64> = (1..=n).map(|i| zipf.pmf(i) * spare as f64).collect();
+    let mut sizes: Vec<u64> = quota.iter().map(|&q| 1 + q.floor() as u64).collect();
+    let mut have: u64 = sizes.iter().sum();
+    // Distribute the remaining units by largest fractional remainder.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ra = quota[a] - quota[a].floor();
+        let rb = quota[b] - quota[b].floor();
+        rb.total_cmp(&ra)
+    });
+    let mut i = 0;
+    while have < total {
+        sizes[order[i % n]] += 1;
+        have += 1;
+        i += 1;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn z_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 1..=10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_is_monotone_decreasing_and_normalized() {
+        let z = Zipf::new(100, 1.5);
+        let mut total = 0.0;
+        for i in 1..=100 {
+            total += z.pmf(i);
+            if i > 1 {
+                assert!(z.pmf(i) <= z.pmf(i - 1));
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn z086_is_roughly_90_10() {
+        // The paper uses z = 0.86 "because it results in a 90-10
+        // distribution": the top ~10% of ranks carry most of the mass.
+        let n = 1000;
+        let z = Zipf::new(n, 0.86);
+        let top10: f64 = (1..=n / 10).map(|i| z.pmf(i)).sum();
+        assert!(top10 > 0.55, "top decile carries {top10}");
+        // and far more than its uniform share of 10%
+        let uniform = Zipf::new(n, 0.0);
+        let flat10: f64 = (1..=n / 10).map(|i| uniform.pmf(i)).sum();
+        assert!(top10 > 5.0 * flat10);
+    }
+
+    #[test]
+    fn sampling_matches_pmf() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(79);
+        let mut hits = [0u32; 5];
+        let trials = 200_000;
+        for _ in 0..trials {
+            hits[z.sample(&mut rng) - 1] += 1;
+        }
+        for i in 1..=5 {
+            let freq = hits[i - 1] as f64 / trials as f64;
+            assert!(
+                (freq - z.pmf(i)).abs() < 0.01,
+                "rank {i}: {freq} vs {}",
+                z.pmf(i)
+            );
+        }
+    }
+
+    #[test]
+    fn sizes_conserve_total_and_min_one() {
+        for z in [0.0, 0.86, 1.5] {
+            let sizes = zipf_sizes(100, 10_000, z);
+            assert_eq!(sizes.len(), 100);
+            assert_eq!(sizes.iter().sum::<u64>(), 10_000);
+            assert!(sizes.iter().all(|&s| s >= 1));
+        }
+    }
+
+    #[test]
+    fn sizes_skew_grows_with_z() {
+        let flat = zipf_sizes(50, 5_000, 0.0);
+        let skewed = zipf_sizes(50, 5_000, 1.5);
+        assert!(skewed[0] > flat[0] * 5);
+        assert!(*skewed.last().unwrap() < *flat.last().unwrap());
+        // z = 0 is (nearly) equal sizes.
+        assert!(flat.iter().max().unwrap() - flat.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn tight_budget_gives_all_ones() {
+        let sizes = zipf_sizes(7, 7, 1.5);
+        assert_eq!(sizes, vec![1; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tuple per group")]
+    fn rejects_budget_below_group_count() {
+        let _ = zipf_sizes(10, 5, 1.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests over the core invariants of the sampling layer.
+
+use congress::alloc::{AllocationStrategy, BasicCongress, Congress, House, Senate};
+use congress::GroupCensus;
+use proptest::prelude::*;
+use relation::{ColumnId, GroupKey, Value};
+use tpcd::zipf_sizes;
+
+/// Strategy producing a random 2-attribute census: `da × db` groups with
+/// sizes in `1..=max_size` (some groups dropped to vary the shape).
+fn census_strategy() -> impl Strategy<Value = GroupCensus> {
+    (2usize..6, 2usize..6, 1u64..500)
+        .prop_flat_map(|(da, db, max_size)| {
+            let n = da * db;
+            (
+                Just((da, db)),
+                proptest::collection::vec(1..=max_size, n),
+                proptest::collection::vec(proptest::bool::weighted(0.8), n),
+            )
+        })
+        .prop_filter_map("at least one group kept", |((da, _db), sizes, keep)| {
+            let mut keys = Vec::new();
+            let mut kept_sizes = Vec::new();
+            for (i, (&s, &k)) in sizes.iter().zip(&keep).enumerate() {
+                if k {
+                    keys.push(GroupKey::new(vec![
+                        Value::Int((i % da) as i64),
+                        Value::Int((i / da) as i64),
+                    ]));
+                    kept_sizes.push(s);
+                }
+            }
+            if keys.is_empty() {
+                return None;
+            }
+            GroupCensus::from_counts(vec![ColumnId(0), ColumnId(1)], keys, kept_sizes).ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every strategy's targets are non-negative and sum to ≈ min(X, and
+    /// for strategies that scale, exactly X).
+    #[test]
+    fn allocations_fit_budget(census in census_strategy(), space in 1.0f64..5_000.0) {
+        for (scaled, alloc) in [
+            (false, House.allocate(&census, space).unwrap()),
+            (false, Senate.allocate(&census, space).unwrap()),
+            (true, BasicCongress.allocate(&census, space).unwrap()),
+            (true, Congress.allocate(&census, space).unwrap()),
+        ] {
+            prop_assert!(alloc.targets().iter().all(|&t| t >= 0.0));
+            let total = alloc.total();
+            prop_assert!(total <= space + 1e-6, "total {total} over budget {space}");
+            if scaled {
+                // Scaling strategies use the budget fully.
+                prop_assert!((total - space).abs() < 1e-6 || alloc.scale_down_factor() == 1.0);
+            }
+        }
+    }
+
+    /// Congress's scale-down factor is in (2^-|G|, 1] (§4.6 analysis).
+    #[test]
+    fn congress_scaledown_in_theoretical_range(census in census_strategy(), space in 1.0f64..5_000.0) {
+        let alloc = Congress.allocate(&census, space).unwrap();
+        let f = alloc.scale_down_factor();
+        prop_assert!(f <= 1.0 + 1e-12);
+        prop_assert!(f > 0.25 - 1e-9, "f = {f} below 2^-2 for |G| = 2");
+    }
+
+    /// The Congress guarantee: every group's allocation is ≥ f × its
+    /// optimal S1 share under EVERY grouping T ⊆ G.
+    #[test]
+    fn congress_dominates_all_groupings_up_to_f(census in census_strategy(), space in 10.0f64..5_000.0) {
+        let alloc = Congress.allocate(&census, space).unwrap();
+        let f = alloc.scale_down_factor();
+        for t in congress::lattice::all_groupings(2) {
+            let view = census.supergroups(t);
+            for (g, &h) in view.supergroup_of.iter().enumerate() {
+                let s_gt = space / view.group_count as f64
+                    * census.sizes()[g] as f64 / view.sizes[h as usize] as f64;
+                prop_assert!(
+                    alloc.targets()[g] >= f * s_gt - 1e-9,
+                    "group {g} grouping {t:?}: {} < f·{s_gt}", alloc.targets()[g]
+                );
+            }
+        }
+    }
+
+    /// Integer counts respect caps and conserve the (capped) budget.
+    #[test]
+    fn integer_counts_sound(census in census_strategy(), space in 1.0f64..10_000.0) {
+        let alloc = Congress.allocate(&census, space).unwrap();
+        let counts = alloc.integer_counts(census.sizes());
+        let total_rows: u64 = census.total_rows();
+        for (c, &n) in counts.iter().zip(census.sizes()) {
+            prop_assert!(*c as u64 <= n);
+        }
+        let want = space.min(total_rows as f64).round() as i64;
+        let have: i64 = counts.iter().map(|&c| c as i64).sum();
+        prop_assert!((have - want).abs() <= 1 + census.group_count() as i64 / 10,
+            "rounded total {have} vs budget {want}");
+    }
+
+    /// `zipf_sizes` conserves totals, keeps minimums, and is monotone in rank.
+    #[test]
+    fn zipf_sizes_invariants(n in 1usize..200, extra in 0u64..10_000, z in 0.0f64..2.0) {
+        let total = n as u64 + extra;
+        let sizes = zipf_sizes(n, total, z);
+        prop_assert_eq!(sizes.len(), n);
+        prop_assert_eq!(sizes.iter().sum::<u64>(), total);
+        prop_assert!(sizes.iter().all(|&s| s >= 1));
+        // Zipf ranks are non-increasing up to rounding jitter of 1.
+        for w in sizes.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1);
+        }
+    }
+
+    /// Reservoir sampling keeps exactly min(seen, capacity) items and all
+    /// items come from the stream.
+    #[test]
+    fn reservoir_size_invariant(cap in 0usize..50, stream_len in 0usize..200, seed in 0u64..1000) {
+        use congress::build::Reservoir;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut r = Reservoir::new(cap);
+        for i in 0..stream_len {
+            r.offer(i, &mut rng);
+        }
+        prop_assert_eq!(r.len(), cap.min(stream_len));
+        prop_assert!(r.items().iter().all(|&x| x < stream_len));
+        let mut sorted = r.items().to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), r.len(), "duplicates in reservoir");
+    }
+
+    /// Eq-8 per-tuple probabilities are valid probabilities whose
+    /// population-weighted sum hits the budget (when no cap binds).
+    #[test]
+    fn per_tuple_probabilities_valid(census in census_strategy(), space in 1.0f64..2_000.0) {
+        let probs = congress::alloc::per_tuple_probabilities(&census, space).unwrap();
+        prop_assert_eq!(probs.len(), census.group_count());
+        prop_assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let expected: f64 = probs.iter().zip(census.sizes())
+            .map(|(&p, &n)| p * n as f64).sum();
+        // With capping at 1.0 the expectation can fall below the budget,
+        // but can never exceed it.
+        prop_assert!(expected <= space + 1e-6);
+    }
+
+    /// Group-by error norms satisfy L1 ≤ L2 ≤ L∞ for any error vector.
+    #[test]
+    fn error_norms_ordered(errs in proptest::collection::vec(0.0f64..200.0, 1..30)) {
+        let report = congress::GroupByErrorReport {
+            per_group: errs.iter().enumerate()
+                .map(|(i, &e)| (GroupKey::new(vec![Value::Int(i as i64)]), e))
+                .collect(),
+            missing_groups: 0,
+            spurious_groups: 0,
+        };
+        prop_assert!(report.l1() <= report.l2() + 1e-9);
+        prop_assert!(report.l2() <= report.l_inf() + 1e-9);
+    }
+}

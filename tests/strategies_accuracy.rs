@@ -1,0 +1,190 @@
+//! Integration: the qualitative accuracy orderings of §7.2 hold on
+//! skewed TPC-D-style data — the repo-scale version of Figures 14–16.
+
+use aqua::SamplingStrategy;
+use bench_harness::*;
+
+/// Minimal local re-implementation of the bench harness pieces we need
+/// (the root test crate cannot depend on `bench`'s unpublished internals
+/// without making the root package heavier, so this mirrors the setup).
+mod bench_harness {
+    use congress::alloc::{BasicCongress, Congress, House, Senate};
+    use congress::{compare_results, CongressionalSample, GroupCensus};
+    use engine::rewrite::{Integrated, SamplePlan};
+    use engine::{execute_exact, GroupByQuery};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use aqua::SamplingStrategy;
+    use tpcd::{GeneratorConfig, TpcdDataset};
+
+    pub struct Setup {
+        pub ds: TpcdDataset,
+        pub census: GroupCensus,
+    }
+
+    pub fn setup(z: f64) -> Setup {
+        let ds = TpcdDataset::generate(GeneratorConfig {
+            table_size: 60_000,
+            num_groups: 125,
+            group_skew: z,
+            agg_skew: 0.86,
+            seed: 4242,
+        });
+        let census = GroupCensus::build(&ds.relation, &ds.grouping_columns()).unwrap();
+        Setup { ds, census }
+    }
+
+    /// Mean per-group error of `strategy` on `query`, averaged over seeds.
+    pub fn mean_error(
+        s: &Setup,
+        strategy: SamplingStrategy,
+        query: &GroupByQuery,
+        fraction: f64,
+        trials: u64,
+    ) -> f64 {
+        let exact = execute_exact(&s.ds.relation, query).unwrap();
+        let space = fraction * s.ds.relation.row_count() as f64;
+        let mut total = 0.0;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(900 + t);
+            let sample = match strategy {
+                SamplingStrategy::House => {
+                    CongressionalSample::draw(&s.ds.relation, &s.census, &House, space, &mut rng)
+                }
+                SamplingStrategy::Senate => {
+                    CongressionalSample::draw(&s.ds.relation, &s.census, &Senate, space, &mut rng)
+                }
+                SamplingStrategy::BasicCongress => CongressionalSample::draw(
+                    &s.ds.relation,
+                    &s.census,
+                    &BasicCongress,
+                    space,
+                    &mut rng,
+                ),
+                SamplingStrategy::Congress => {
+                    CongressionalSample::draw(&s.ds.relation, &s.census, &Congress, space, &mut rng)
+                }
+            }
+            .unwrap();
+            let input = match strategy {
+                SamplingStrategy::House => {
+                    sample.to_stratified_input_uniform(&s.ds.relation).unwrap()
+                }
+                _ => sample.to_stratified_input(&s.ds.relation).unwrap(),
+            };
+            let plan = Integrated::build(&input).unwrap();
+            let approx = plan.execute(query).unwrap();
+            total += compare_results(&exact, &approx, 0, 100.0).l1();
+        }
+        total / trials as f64
+    }
+}
+
+#[test]
+fn figure15_shape_senate_beats_house_at_finest_grouping() {
+    let s = setup(1.5);
+    let q = tpcd::q_g3(&s.ds.ids);
+    let house = mean_error(&s, SamplingStrategy::House, &q, 0.07, 3);
+    let senate = mean_error(&s, SamplingStrategy::Senate, &q, 0.07, 3);
+    let congress = mean_error(&s, SamplingStrategy::Congress, &q, 0.07, 3);
+    assert!(
+        senate < house,
+        "senate {senate} must beat house {house} at the finest grouping"
+    );
+    assert!(
+        congress < house,
+        "congress {congress} must beat house {house} at the finest grouping"
+    );
+}
+
+#[test]
+fn figure14_shape_house_beats_senate_on_ungrouped_ranges() {
+    let s = setup(1.5);
+    // Average over several Q_{g0}-style range queries.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    let queries = tpcd::q_g0_set(&s.ds.ids, 10, 60_000, 4_200, &mut rng);
+    let avg = |strategy| -> f64 {
+        queries
+            .iter()
+            .map(|q| mean_error(&s, strategy, q, 0.07, 2))
+            .sum::<f64>()
+            / queries.len() as f64
+    };
+    let house = avg(SamplingStrategy::House);
+    let senate = avg(SamplingStrategy::Senate);
+    assert!(
+        house < senate,
+        "house {house} must beat senate {senate} on uniform range queries"
+    );
+}
+
+#[test]
+fn figure16_shape_congress_competitive_everywhere() {
+    // The paper's conclusion: Congress is "consistently the best or close
+    // to best". Check it is never far worse than the per-query winner.
+    let s = setup(1.5);
+    for (tag, q) in [
+        ("qg2", tpcd::q_g2(&s.ds.ids)),
+        ("qg3", tpcd::q_g3(&s.ds.ids)),
+    ] {
+        let house = mean_error(&s, SamplingStrategy::House, &q, 0.07, 3);
+        let senate = mean_error(&s, SamplingStrategy::Senate, &q, 0.07, 3);
+        let congress = mean_error(&s, SamplingStrategy::Congress, &q, 0.07, 3);
+        let best = house.min(senate);
+        assert!(
+            congress <= best * 2.0 + 1.0,
+            "{tag}: congress {congress} vs best-of-extremes {best}"
+        );
+    }
+}
+
+#[test]
+fn no_missing_groups_at_reasonable_sample_sizes() {
+    // §3.2's first user requirement: every non-empty group appears.
+    let s = setup(1.5);
+    let q = tpcd::q_g3(&s.ds.ids);
+    for strategy in [
+        SamplingStrategy::Senate,
+        SamplingStrategy::BasicCongress,
+        SamplingStrategy::Congress,
+    ] {
+        let exact = engine::execute_exact(&s.ds.relation, &q).unwrap();
+        let space = 0.07 * s.ds.relation.row_count() as f64;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(8);
+        let sample = match strategy {
+            SamplingStrategy::Senate => congress::CongressionalSample::draw(
+                &s.ds.relation,
+                &s.census,
+                &congress::alloc::Senate,
+                space,
+                &mut rng,
+            ),
+            SamplingStrategy::BasicCongress => congress::CongressionalSample::draw(
+                &s.ds.relation,
+                &s.census,
+                &congress::alloc::BasicCongress,
+                space,
+                &mut rng,
+            ),
+            _ => congress::CongressionalSample::draw(
+                &s.ds.relation,
+                &s.census,
+                &congress::alloc::Congress,
+                space,
+                &mut rng,
+            ),
+        }
+        .unwrap();
+        let input = sample.to_stratified_input(&s.ds.relation).unwrap();
+        let plan = engine::rewrite::Integrated::build(&input).unwrap();
+        use engine::rewrite::SamplePlan as _;
+        let approx = plan.execute(&q).unwrap();
+        let report = congress::compare_results(&exact, &approx, 0, 100.0);
+        assert_eq!(
+            report.missing_groups, 0,
+            "{:?} lost groups at a 7% sample",
+            strategy
+        );
+    }
+}
