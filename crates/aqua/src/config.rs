@@ -86,6 +86,11 @@ pub struct AquaConfig {
     pub confidence: f64,
     /// RNG seed for sampling decisions.
     pub seed: u64,
+    /// Worker threads for synopsis construction: `0` = use all available
+    /// cores, `1` = strictly sequential. Any value produces the identical
+    /// synopsis for a given `seed` (per-group RNG streams are derived from
+    /// the seed, never from scheduling).
+    pub parallelism: usize,
 }
 
 impl Default for AquaConfig {
@@ -96,11 +101,24 @@ impl Default for AquaConfig {
             rewrite: RewriteChoice::NestedIntegrated,
             confidence: 0.9,
             seed: 0x4151_5541, // "AQUA"
+            parallelism: 0,
         }
     }
 }
 
 impl AquaConfig {
+    /// The concrete thread count `parallelism` resolves to (`0` → all
+    /// available cores).
+    pub fn effective_parallelism(&self) -> usize {
+        if self.parallelism == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.parallelism
+        }
+    }
+
     /// Validate the configuration.
     pub fn validate(&self) -> crate::Result<()> {
         if self.space == 0 {
@@ -141,6 +159,17 @@ mod tests {
         assert!(c.validate().is_err());
         c.confidence = -0.1;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn effective_parallelism_resolves_zero_to_cores() {
+        let auto = AquaConfig::default();
+        assert!(auto.effective_parallelism() >= 1);
+        let fixed = AquaConfig {
+            parallelism: 3,
+            ..AquaConfig::default()
+        };
+        assert_eq!(fixed.effective_parallelism(), 3);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use congress::build::{
     BasicCongressMaintainer, CongressMaintainer, HouseMaintainer, IncrementalMaintainer,
     SenateMaintainer,
 };
-use congress::CongressionalSample;
+use congress::{AllocationStrategy, CongressionalSample, GroupCensus, SeedSpec};
 use engine::rewrite::{Integrated, KeyNormalized, NestedIntegrated, Normalized, SamplePlan};
 use engine::StratifiedInput;
 use relation::{ColumnId, GroupKey, Relation};
@@ -77,6 +77,10 @@ pub struct Synopsis {
     plan: Option<Box<dyn SamplePlan + Send + Sync>>,
     /// The stratified input backing `plan` (needed for error bounds).
     input: Option<StratifiedInput>,
+    /// The materialized sample backing `plan` — whichever path built it
+    /// (incremental refresh or bulk parallel rebuild), so export always
+    /// ships exactly what the plan answers from.
+    sample: Option<CongressionalSample>,
     sample_rows: usize,
     stale: bool,
 }
@@ -103,8 +107,22 @@ impl Synopsis {
             grouping,
             plan: None,
             input: None,
+            sample: None,
             sample_rows: 0,
             stale: true,
+        })
+    }
+
+    /// Build the configured physical rewrite plan over `input`.
+    fn build_plan(
+        rewrite: RewriteChoice,
+        input: &StratifiedInput,
+    ) -> Result<Box<dyn SamplePlan + Send + Sync>> {
+        Ok(match rewrite {
+            RewriteChoice::Integrated => Box::new(Integrated::build(input)?),
+            RewriteChoice::NestedIntegrated => Box::new(NestedIntegrated::build(input)?),
+            RewriteChoice::Normalized => Box::new(Normalized::build(input)?),
+            RewriteChoice::KeyNormalized => Box::new(KeyNormalized::build(input)?),
         })
     }
 
@@ -131,15 +149,58 @@ impl Synopsis {
             SamplingStrategy::House => sample.to_stratified_input_uniform(table)?,
             _ => sample.to_stratified_input(table)?,
         };
-        let plan: Box<dyn SamplePlan + Send + Sync> = match self.config.rewrite {
-            RewriteChoice::Integrated => Box::new(Integrated::build(&input)?),
-            RewriteChoice::NestedIntegrated => Box::new(NestedIntegrated::build(&input)?),
-            RewriteChoice::Normalized => Box::new(Normalized::build(&input)?),
-            RewriteChoice::KeyNormalized => Box::new(KeyNormalized::build(&input)?),
-        };
+        let plan = Self::build_plan(self.config.rewrite, &input)?;
         self.sample_rows = input.rows.row_count();
         self.plan = Some(plan);
         self.input = Some(input);
+        self.sample = Some(sample);
+        self.stale = false;
+        Ok(())
+    }
+
+    /// Rebuild the synopsis *in bulk* from the full stored table: parallel
+    /// census ([`GroupCensus::par_build`]), allocation, and per-stratum
+    /// draws ([`CongressionalSample::draw_par`]), all seeded from
+    /// `config.seed` via [`SeedSpec`]. Runs on `config.parallelism`
+    /// threads and produces the identical synopsis for *any* thread count
+    /// — per-group RNG streams depend only on (seed, group key).
+    ///
+    /// Unlike [`Self::refresh`], which materializes the incremental
+    /// maintainer's reservoir state, this recomputes the sample from
+    /// scratch; the maintainer keeps tracking the stream for future
+    /// incremental refreshes.
+    pub fn rebuild_bulk(&mut self, table: &Relation) -> Result<()> {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.config.effective_parallelism())
+            .build()
+            .expect("thread pool construction is infallible in this facade");
+        let (sample, input) = pool.install(|| -> Result<_> {
+            let census = GroupCensus::par_build(table, &self.grouping)?;
+            let spec = SeedSpec::new(self.config.seed);
+            let strategy: &dyn AllocationStrategy = match self.config.strategy {
+                SamplingStrategy::House => &congress::alloc::House,
+                SamplingStrategy::Senate => &congress::alloc::Senate,
+                SamplingStrategy::BasicCongress => &congress::alloc::BasicCongress,
+                SamplingStrategy::Congress => &congress::alloc::Congress,
+            };
+            let sample = CongressionalSample::draw_par(
+                table,
+                &census,
+                strategy,
+                self.config.space as f64,
+                &spec,
+            )?;
+            let input = match self.config.strategy {
+                SamplingStrategy::House => sample.to_stratified_input_uniform(table)?,
+                _ => sample.to_stratified_input(table)?,
+            };
+            Ok((sample, input))
+        })?;
+        let plan = Self::build_plan(self.config.rewrite, &input)?;
+        self.sample_rows = input.rows.row_count();
+        self.plan = Some(plan);
+        self.input = Some(input);
+        self.sample = Some(sample);
         self.stale = false;
         Ok(())
     }
@@ -179,16 +240,22 @@ impl Synopsis {
         &self.grouping
     }
 
+    /// The materialized sample backing the plan (after a refresh or bulk
+    /// rebuild).
+    pub fn sample(&self) -> Option<&CongressionalSample> {
+        self.sample.as_ref()
+    }
+
     /// Export the current materialized sample in the compact binary
     /// snapshot format (synopses are durable in Aqua — "stored as regular
-    /// relations in the DBMS"). Call after a refresh.
+    /// relations in the DBMS"). Encodes exactly the sample the active plan
+    /// answers from, refreshing first if stale.
     pub fn export(&mut self, table: &Relation) -> Result<bytes::Bytes> {
-        if self.stale {
+        if self.stale || self.sample.is_none() {
             self.refresh(table)?;
         }
-        let mut sample = self.maintainer.snapshot(self.config.space, &mut self.rng)?;
-        sample.set_grouping_columns(self.grouping.clone());
-        Ok(congress::snapshot::encode(&sample))
+        let sample = self.sample.as_ref().expect("refresh stored the sample");
+        Ok(congress::snapshot::encode(sample))
     }
 
     /// Rebuild a synopsis from an exported snapshot. The result answers
@@ -206,12 +273,7 @@ impl Synopsis {
             SamplingStrategy::House => sample.to_stratified_input_uniform(table)?,
             _ => sample.to_stratified_input(table)?,
         };
-        let plan: Box<dyn SamplePlan + Send + Sync> = match config.rewrite {
-            RewriteChoice::Integrated => Box::new(Integrated::build(&input)?),
-            RewriteChoice::NestedIntegrated => Box::new(NestedIntegrated::build(&input)?),
-            RewriteChoice::Normalized => Box::new(Normalized::build(&input)?),
-            RewriteChoice::KeyNormalized => Box::new(KeyNormalized::build(&input)?),
-        };
+        let plan = Self::build_plan(config.rewrite, &input)?;
         Ok(Synopsis {
             maintainer: Maintainer::new(config.strategy, config.space, grouping.len()),
             rng: StdRng::seed_from_u64(config.seed),
@@ -220,6 +282,7 @@ impl Synopsis {
             sample_rows: input.rows.row_count(),
             plan: Some(plan),
             input: Some(input),
+            sample: Some(sample),
             stale: false,
         })
     }
@@ -248,6 +311,7 @@ mod tests {
             rewrite: RewriteChoice::Integrated,
             confidence: 0.9,
             seed: 99,
+            parallelism: 0,
         }
     }
 
@@ -314,10 +378,44 @@ mod tests {
         let q = GroupByQuery::new(vec![ColumnId(0)], vec![AggregateSpec::count("c")]);
         let a = s.plan().unwrap().execute(&q).unwrap();
         let b = restored.plan().unwrap().execute(&q).unwrap();
-        // Export re-snapshots the maintainer with the same rng stream the
-        // refresh used, so the group structure matches; estimates must be
-        // on the same groups and close.
+        // Export encodes exactly the sample backing the active plan, so
+        // the restored synopsis answers from the same strata.
         assert_eq!(a.group_count(), b.group_count());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bulk_rebuild_is_parallelism_invariant() {
+        let t = table(5000);
+        let grouping = vec![ColumnId(0)];
+        let mut samples = Vec::new();
+        for parallelism in [1usize, 2, 8] {
+            let cfg = AquaConfig {
+                parallelism,
+                ..config(SamplingStrategy::Congress)
+            };
+            let mut s = Synopsis::new(cfg, grouping.clone()).unwrap();
+            s.rebuild_bulk(&t).unwrap();
+            assert!(!s.is_stale());
+            assert!(s.plan().is_some());
+            samples.push(s.sample().unwrap().clone());
+        }
+        for s in &samples[1..] {
+            assert_eq!(samples[0].sampled_rows(), s.sampled_rows());
+            assert_eq!(samples[0].strata_keys(), s.strata_keys());
+            assert_eq!(samples[0].group_sizes(), s.group_sizes());
+        }
+    }
+
+    #[test]
+    fn bulk_rebuild_export_round_trips() {
+        let t = table(2000);
+        let mut s = Synopsis::new(config(SamplingStrategy::Senate), vec![ColumnId(0)]).unwrap();
+        s.ingest(&t, 0).unwrap();
+        s.rebuild_bulk(&t).unwrap();
+        let snapshot = s.export(&t).unwrap();
+        let restored = Synopsis::import(config(SamplingStrategy::Senate), &t, snapshot).unwrap();
+        assert_eq!(restored.sample_rows(), s.sample_rows());
     }
 
     #[test]

@@ -30,8 +30,12 @@ struct Inner {
 
 impl Aqua {
     /// Build the system over `table`, declaring `grouping` as the
-    /// dimensional attributes `G`, and constructing the synopsis in one
-    /// pass per `config`.
+    /// dimensional attributes `G`. The initial synopsis is constructed by
+    /// the bulk parallel pipeline (parallel census + seeded per-stratum
+    /// draws, on `config.parallelism` threads — identical output at any
+    /// thread count); the table is also streamed through the incremental
+    /// maintainer so later [`Self::insert_batch`] calls keep the synopsis
+    /// maintainable in one pass.
     pub fn build(table: Relation, grouping: Vec<ColumnId>, config: AquaConfig) -> Result<Aqua> {
         config.validate()?;
         for &c in &grouping {
@@ -44,7 +48,7 @@ impl Aqua {
         }
         let mut synopsis = Synopsis::new(config, grouping.clone())?;
         synopsis.ingest(&table, 0)?;
-        synopsis.refresh(&table)?;
+        synopsis.rebuild_bulk(&table)?;
         Ok(Aqua {
             inner: RwLock::new(Inner {
                 table,
@@ -186,6 +190,19 @@ impl Aqua {
         })
     }
 
+    /// Force a bulk *parallel* reconstruction of the synopsis from the
+    /// stored table, on `config.parallelism` threads. Queries block for
+    /// the duration (writer lock) and then see the new synopsis whole —
+    /// never a partially rebuilt one. The maintainer keeps its stream
+    /// state for future incremental refreshes.
+    pub fn rebuild(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        let Inner {
+            table, synopsis, ..
+        } = &mut *inner;
+        synopsis.rebuild_bulk(table)
+    }
+
     /// Force a synopsis refresh now (normally lazy).
     pub fn refresh(&self) -> Result<()> {
         let mut inner = self.inner.write();
@@ -232,6 +249,7 @@ mod tests {
             rewrite: RewriteChoice::NestedIntegrated,
             confidence: 0.9,
             seed: 4,
+            parallelism: 0,
         }
     }
 

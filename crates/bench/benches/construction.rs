@@ -80,6 +80,35 @@ fn bench_construction(c: &mut Criterion) {
     c.bench_function("census_build_100k", |b| {
         b.iter(|| GroupCensus::build(&ds.relation, &cols).unwrap())
     });
+
+    // Parallel pipeline (parallel census + seeded per-stratum draws) vs the
+    // strictly sequential run of the same pipeline. Identical output at
+    // every thread count — per-group RNG streams come from the seed — so
+    // the comparison isolates the scheduling cost alone.
+    let mut group = c.benchmark_group("construct_parallel");
+    group.sample_size(10);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut threads: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= cores)
+        .collect();
+    if !threads.contains(&cores) {
+        threads.push(cores);
+    }
+    for t in threads {
+        group.bench_with_input(
+            BenchmarkId::new("Congress", format!("{t}_threads")),
+            &t,
+            |b, &t| {
+                b.iter(|| {
+                    bench::construct_parallel(&ds.relation, &cols, &Congress, space as f64, 3, t)
+                })
+            },
+        );
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_construction);

@@ -4,10 +4,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use aqua::{RewriteChoice, SamplingStrategy};
-use congress::alloc::{BasicCongress, Congress, House, Senate};
-use congress::{compare_results, CongressionalSample, GroupCensus};
+use congress::alloc::{AllocationStrategy, BasicCongress, Congress, House, Senate};
+use congress::{compare_results, CongressionalSample, GroupCensus, SeedSpec};
 use engine::rewrite::{Integrated, KeyNormalized, NestedIntegrated, Normalized, SamplePlan};
 use engine::{execute_exact, GroupByQuery, QueryResult};
+use relation::{ColumnId, Relation};
 use tpcd::{q_g0_set, q_g2, q_g3, GeneratorConfig, TpcdDataset};
 
 /// A generated dataset with its census and the paper's three query sets.
@@ -64,6 +65,32 @@ impl QuerySet {
             QuerySet::Qg3 => "Qg3",
         }
     }
+}
+
+/// Build a congressional sample via the parallel construction pipeline
+/// (parallel census + per-stratum seeded draws) on `threads` worker
+/// threads (`0` = all cores). The output is identical for any thread
+/// count: per-group RNG streams are derived from `seed` via [`SeedSpec`],
+/// never from scheduling — so sequential/parallel timings from this
+/// helper compare like for like.
+pub fn construct_parallel(
+    rel: &Relation,
+    cols: &[ColumnId],
+    strategy: &dyn AllocationStrategy,
+    space: f64,
+    seed: u64,
+    threads: usize,
+) -> CongressionalSample {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    pool.install(|| {
+        let census = GroupCensus::par_build(rel, cols).expect("non-empty relation");
+        let spec = SeedSpec::new(seed);
+        CongressionalSample::draw_par(rel, &census, strategy, space, &spec)
+            .expect("valid allocation")
+    })
 }
 
 /// Build a physical plan for a sampling strategy at a given sample

@@ -6,5 +6,8 @@
 pub mod harness;
 pub mod report;
 
-pub use harness::{accuracy_for_strategy, build_plan, AccuracyResult, ExperimentSetup, QuerySet};
+pub use harness::{
+    accuracy_for_strategy, build_plan, construct_parallel, AccuracyResult, ExperimentSetup,
+    QuerySet,
+};
 pub use report::Table;

@@ -24,6 +24,7 @@ pub fn query(args: &Args) -> Result<String> {
         rewrite: rewrite(args)?,
         confidence: args.get_parsed("confidence", 0.9f64)?,
         seed: args.get_parsed("seed", 0u64)?,
+        parallelism: args.get_parsed("parallelism", 0usize)?,
     };
     let table_rows = source.relation.row_count();
     let aqua = Aqua::build(source.relation, source.grouping, config).map_err(err)?;

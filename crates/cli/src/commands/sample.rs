@@ -3,9 +3,7 @@
 use std::fmt::Write as _;
 
 use congress::alloc::{AllocationStrategy, BasicCongress, Congress, House, Senate};
-use congress::{snapshot, CongressionalSample, GroupCensus};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use congress::{snapshot, CongressionalSample, GroupCensus, SeedSpec};
 
 use crate::args::Args;
 use crate::data::{load, strategy};
@@ -13,6 +11,10 @@ use crate::{err, Result};
 
 /// Draw a sample per the chosen strategy and write the snapshot to
 /// `--out` (the durable synopsis format).
+///
+/// Construction runs on `--parallelism` threads (`0` = all cores, the
+/// default) with per-stratum RNG streams derived from `--seed`, so the
+/// written snapshot is identical for any thread count.
 pub fn sample(args: &Args) -> Result<String> {
     let source = load(args)?;
     let space: f64 = args.get_parsed("space", 0.0f64)?;
@@ -20,8 +22,8 @@ pub fn sample(args: &Args) -> Result<String> {
         return Err("sample requires --space <tuples>".into());
     }
     let out_path = args.require("out")?.to_string();
-    let census = GroupCensus::build(&source.relation, &source.grouping).map_err(err)?;
-    let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 0u64)?);
+    let spec = SeedSpec::new(args.get_parsed("seed", 0u64)?);
+    let parallelism: usize = args.get_parsed("parallelism", 0usize)?;
 
     let chosen = strategy(args)?;
     let boxed: Box<dyn AllocationStrategy> = match chosen {
@@ -30,15 +32,23 @@ pub fn sample(args: &Args) -> Result<String> {
         aqua::SamplingStrategy::BasicCongress => Box::new(BasicCongress),
         aqua::SamplingStrategy::Congress => Box::new(Congress),
     };
-    let allocation = boxed.allocate(&census, space).map_err(err)?;
-    let sample = CongressionalSample::draw_with_allocation(
-        &source.relation,
-        &census,
-        &allocation,
-        boxed.name(),
-        &mut rng,
-    )
-    .map_err(err)?;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(parallelism)
+        .build()
+        .expect("thread pool");
+    let sample = pool
+        .install(|| -> congress::Result<CongressionalSample> {
+            let census = GroupCensus::par_build(&source.relation, &source.grouping)?;
+            let allocation = boxed.allocate(&census, space)?;
+            CongressionalSample::draw_with_allocation_par(
+                &source.relation,
+                &census,
+                &allocation,
+                boxed.name(),
+                &spec,
+            )
+        })
+        .map_err(err)?;
     let bytes = snapshot::encode(&sample);
     std::fs::write(&out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
 
@@ -88,6 +98,38 @@ mod tests {
         let decoded = congress::snapshot::decode(bytes::Bytes::from(bytes)).unwrap();
         assert_eq!(decoded.total_sampled(), 400);
         assert_eq!(decoded.stratum_count(), 27);
+    }
+
+    #[test]
+    fn sample_snapshot_identical_across_parallelism() {
+        let dir = std::env::temp_dir().join("congress_cli_sample_par");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut snapshots = Vec::new();
+        for parallelism in ["1", "4"] {
+            let path = dir.join(format!("p{parallelism}.sample"));
+            sample(&args(&[
+                "sample",
+                "--demo",
+                "--rows",
+                "4000",
+                "--groups",
+                "27",
+                "--space",
+                "400",
+                "--seed",
+                "7",
+                "--parallelism",
+                parallelism,
+                "--out",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            snapshots.push(std::fs::read(&path).unwrap());
+        }
+        assert_eq!(
+            snapshots[0], snapshots[1],
+            "snapshot bytes must not depend on thread count"
+        );
     }
 
     #[test]

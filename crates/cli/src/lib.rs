@@ -57,6 +57,8 @@ COMMON OPTIONS:
   --rewrite <R>           integrated | nested | normalized | keynorm
                           (default nested)
   --seed <N>              RNG seed (default 0)
+  --parallelism <N>       construction threads: 0 = all cores (default),
+                          1 = sequential; same output for any value
   --top <N>               rows to print in tables (default 20)
   --out <FILE>            output path (sample)
 

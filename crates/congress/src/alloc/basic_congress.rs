@@ -2,6 +2,8 @@
 //! Senate allocations at the finest grouping, scaled down to the budget —
 //! optimizing jointly for `T ∈ {∅, G}` only.
 
+use rayon::prelude::*;
+
 use crate::alloc::{check_space, scale_to_budget, Allocation, AllocationStrategy};
 use crate::census::GroupCensus;
 use crate::error::Result;
@@ -19,9 +21,11 @@ impl AllocationStrategy for BasicCongress {
         check_space(space)?;
         let n = census.total_rows() as f64;
         let m = census.group_count() as f64;
+        // Embarrassingly parallel per-group map; order preserved by the
+        // parallel iterator, so results are identical to the sequential map.
         let raw: Vec<f64> = census
             .sizes()
-            .iter()
+            .par_iter()
             .map(|&ng| space * (ng as f64 / n).max(1.0 / m))
             .collect();
         Ok(scale_to_budget(raw, space))

@@ -3,10 +3,25 @@
 //! (Eq 4), take the per-group maximum over all `T`, and scale down to the
 //! budget (Eq 5–6).
 
+use rayon::prelude::*;
+
 use crate::alloc::{check_space, scale_to_budget, Allocation, AllocationStrategy};
 use crate::census::GroupCensus;
 use crate::error::Result;
 use crate::lattice::all_groupings;
+
+/// Elementwise maximum of two per-group vectors — the reduce step of the
+/// parallel lattice walks below. `f64::max` is associative and commutative
+/// over the non-NaN values produced here, so the reduction is exact and
+/// independent of evaluation order (and therefore of thread count).
+fn elementwise_max(mut a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+    for (x, y) in a.iter_mut().zip(b) {
+        if y > *x {
+            *x = y;
+        }
+    }
+    a
+}
 
 /// Full congressional allocation over the entire grouping lattice.
 ///
@@ -40,19 +55,25 @@ impl Congress {
     /// unscaled sum directly.
     pub fn raw_targets(census: &GroupCensus, space: f64) -> Vec<f64> {
         let k = census.attribute_count();
-        let mut best = vec![0.0f64; census.group_count()];
-        for t in all_groupings(k) {
-            let view = census.supergroups(t);
-            let per_group = space / view.group_count as f64;
-            for (g, &h) in view.supergroup_of.iter().enumerate() {
-                // Eq 4: s_{g,T} = (X / m_T) · (n_g / n_h)
-                let s = per_group * census.sizes()[g] as f64 / view.sizes[h as usize] as f64;
-                if s > best[g] {
-                    best[g] = s;
-                }
-            }
-        }
-        best
+        let m = census.group_count();
+        // Parallel over the 2^k groupings: each computes its Eq-4 vector
+        // independently, then an exact elementwise max folds them.
+        all_groupings(k)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|t| {
+                let view = census.supergroups(t);
+                let per_group = space / view.group_count as f64;
+                view.supergroup_of
+                    .iter()
+                    .enumerate()
+                    // Eq 4: s_{g,T} = (X / m_T) · (n_g / n_h)
+                    .map(|(g, &h)| {
+                        per_group * census.sizes()[g] as f64 / view.sizes[h as usize] as f64
+                    })
+                    .collect::<Vec<f64>>()
+            })
+            .reduce(|| vec![0.0f64; m], elementwise_max)
     }
 }
 
@@ -77,17 +98,20 @@ impl AllocationStrategy for Congress {
 pub fn per_tuple_probabilities(census: &GroupCensus, space: f64) -> Result<Vec<f64>> {
     check_space(space)?;
     let k = census.attribute_count();
-    // max_T X / (m_T · n_{g(τ,T)}) per finest group
-    let mut best = vec![0.0f64; census.group_count()];
-    for t in all_groupings(k) {
-        let view = census.supergroups(t);
-        for (g, &h) in view.supergroup_of.iter().enumerate() {
-            let p = space / (view.group_count as f64 * view.sizes[h as usize] as f64);
-            if p > best[g] {
-                best[g] = p;
-            }
-        }
-    }
+    let m = census.group_count();
+    // max_T X / (m_T · n_{g(τ,T)}) per finest group, parallel over the
+    // lattice like [`Congress::raw_targets`].
+    let best = all_groupings(k)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|t| {
+            let view = census.supergroups(t);
+            view.supergroup_of
+                .iter()
+                .map(|&h| space / (view.group_count as f64 * view.sizes[h as usize] as f64))
+                .collect::<Vec<f64>>()
+        })
+        .reduce(|| vec![0.0f64; m], elementwise_max);
     // Normalize: Σ_τ p_τ = Σ_g n_g·best_g must equal X.
     let total: f64 = best
         .iter()

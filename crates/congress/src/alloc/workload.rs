@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 
+use rayon::prelude::*;
 use relation::GroupKey;
 
 use crate::alloc::{check_space, scale_to_budget, Allocation, AllocationStrategy};
@@ -128,8 +129,6 @@ impl AllocationStrategy for WorkloadWeighted {
         check_space(space)?;
         let k = census.attribute_count();
         let full = Grouping::full(k);
-        let mut raw = vec![0.0f64; census.group_count()];
-
         for pref in &self.preferences {
             if !pref.grouping.is_subset_of(full) {
                 return Err(CongressError::InvalidSpec(format!(
@@ -137,21 +136,43 @@ impl AllocationStrategy for WorkloadWeighted {
                     pref.grouping
                 )));
             }
-            let view = census.supergroups(pref.grouping);
-            let positions = pref.grouping.positions();
-            for (g, &h) in view.supergroup_of.iter().enumerate() {
-                let hkey = census.keys()[g].project(&positions);
-                let r = pref.weights.get(&hkey).copied().unwrap_or(0.0);
-                if r <= 0.0 {
-                    continue;
-                }
-                // SampleSize(g) candidate: X · r_h · n_g / n_h
-                let s = space * r * census.sizes()[g] as f64 / view.sizes[h as usize] as f64;
-                if s > raw[g] {
-                    raw[g] = s;
-                }
-            }
         }
+
+        let m = census.group_count();
+        // Parallel over preferences: each yields an independent per-group
+        // candidate vector; the elementwise max is exact and
+        // order-independent, so the result matches the sequential fold.
+        let raw = self
+            .preferences
+            .par_iter()
+            .map(|pref| {
+                let view = census.supergroups(pref.grouping);
+                let positions = pref.grouping.positions();
+                view.supergroup_of
+                    .iter()
+                    .enumerate()
+                    .map(|(g, &h)| {
+                        let hkey = census.keys()[g].project(&positions);
+                        let r = pref.weights.get(&hkey).copied().unwrap_or(0.0);
+                        if r <= 0.0 {
+                            return 0.0;
+                        }
+                        // SampleSize(g) candidate: X · r_h · n_g / n_h
+                        space * r * census.sizes()[g] as f64 / view.sizes[h as usize] as f64
+                    })
+                    .collect::<Vec<f64>>()
+            })
+            .reduce(
+                || vec![0.0f64; m],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        if y > *x {
+                            *x = y;
+                        }
+                    }
+                    a
+                },
+            );
         Ok(scale_to_budget(raw, space))
     }
 }

@@ -1,0 +1,714 @@
+//! §6 sample construction: reservoirs, one-pass incremental maintainers,
+//! and the census-based (cube) construction routes.
+//!
+//! The paper gives two ways to materialize a congressional sample:
+//!
+//! 1. **Cube-based** (§4.6 / §6): compute the census (the count cube at
+//!    the finest grouping), run an allocation strategy, then draw the
+//!    per-group sample sizes exactly — [`construct_with_census`] — or in
+//!    one shared Bernoulli pass over the tuples using the Eq-8 per-tuple
+//!    probabilities — [`construct_congress_shared`].
+//! 2. **One-pass incremental** (§6): stream the tuples once, maintaining
+//!    per-group reservoirs plus the exact group counts, and snapshot a
+//!    valid sample at any prefix of the stream. The four maintainers
+//!    ([`HouseMaintainer`], [`SenateMaintainer`], [`BasicCongressMaintainer`]
+//!    per Theorem 6.1, and [`CongressMaintainer`] per the Eq-8 scheme)
+//!    share the [`IncrementalMaintainer`] trait; [`construct_one_pass`]
+//!    drives one of them over a whole relation.
+//!
+//! Every maintainer snapshot reports **exact** group sizes (counts are
+//! maintained outside the reservoirs), so scale factors computed from a
+//! snapshot are unbiased even when the reservoirs subsample heavily.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::alloc::{per_tuple_probabilities, AllocationStrategy, BasicCongress, Congress};
+use crate::census::GroupCensus;
+use crate::error::{CongressError, Result};
+use crate::sample::CongressionalSample;
+use relation::{ColumnId, GroupKey, Relation};
+
+// ---------------------------------------------------------------------------
+// Reservoir
+// ---------------------------------------------------------------------------
+
+/// A fixed-capacity uniform reservoir (Vitter's algorithm R): after `n`
+/// offers it holds a uniformly random `min(n, capacity)`-subset of the
+/// offered items.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    seen: u64,
+    items: Vec<T>,
+}
+
+impl<T> Reservoir<T> {
+    /// A new, empty reservoir holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Reservoir<T> {
+        Reservoir {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Offer one item from the stream.
+    pub fn offer<R: Rng + ?Sized>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else if self.capacity > 0 {
+            // Replace with probability capacity / seen.
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Number of items currently held (`min(seen, capacity)`).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the reservoir holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// How many items have been offered in total.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Maximum number of items retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained items (unordered).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Lower the capacity, discarding uniformly at random down to the new
+    /// bound. A uniform subset of a uniform subset is uniform, so the
+    /// reservoir invariant is preserved and offers may continue.
+    pub fn shrink<R: Rng + ?Sized>(&mut self, new_capacity: usize, rng: &mut R) {
+        while self.items.len() > new_capacity {
+            let i = rng.gen_range(0..self.items.len());
+            self.items.swap_remove(i);
+        }
+        self.capacity = new_capacity;
+    }
+}
+
+impl<T: Clone> Reservoir<T> {
+    /// A uniformly random `min(k, len)`-subset of the held items.
+    fn subsample<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<T> {
+        let k = k.min(self.items.len());
+        // Partial Fisher–Yates over indices; the reservoir itself is not
+        // disturbed (snapshots must leave the maintainer resumable).
+        let mut idx: Vec<usize> = (0..self.items.len()).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        idx[..k].iter().map(|&i| self.items[i].clone()).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Group directory (first-seen ordering, exact counts)
+// ---------------------------------------------------------------------------
+
+/// Exact per-group counts with stable first-seen ordering — the `n_g`
+/// counters every maintainer keeps alongside its reservoirs.
+#[derive(Debug, Clone, Default)]
+struct GroupDirectory {
+    index: HashMap<GroupKey, usize>,
+    keys: Vec<GroupKey>,
+    counts: Vec<u64>,
+}
+
+impl GroupDirectory {
+    /// Record one tuple of `key`; returns its group index and whether the
+    /// group is new.
+    fn observe(&mut self, key: &GroupKey) -> (usize, bool) {
+        if let Some(&g) = self.index.get(key) {
+            self.counts[g] += 1;
+            (g, false)
+        } else {
+            let g = self.keys.len();
+            self.index.insert(key.clone(), g);
+            self.keys.push(key.clone());
+            self.counts.push(1);
+            (g, true)
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The maintainer trait
+// ---------------------------------------------------------------------------
+
+/// A one-pass sample maintainer (§6): consumes an insert stream and can
+/// produce a valid [`CongressionalSample`] snapshot at any prefix, without
+/// disturbing its own state (snapshots are resumable).
+pub trait IncrementalMaintainer {
+    /// Consume one tuple: its row id and finest-grouping key.
+    fn insert<R: Rng + ?Sized>(&mut self, row: usize, key: &GroupKey, rng: &mut R);
+
+    /// Total tuples inserted so far.
+    fn seen(&self) -> u64;
+
+    /// Number of row slots currently held across the reservoirs.
+    fn sample_len(&self) -> usize;
+
+    /// Materialize the current sample. Group sizes in the snapshot are the
+    /// exact stream counts; the grouping columns are left empty (callers
+    /// that know them use [`CongressionalSample::set_grouping_columns`]).
+    fn snapshot<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<CongressionalSample>;
+}
+
+/// An empty maintainer yields an empty (zero-strata) snapshot: a
+/// zero-length stream prefix is still a valid snapshot point for a
+/// resumable maintainer.
+fn empty_snapshot(name: &str) -> Result<CongressionalSample> {
+    CongressionalSample::from_parts(Vec::new(), Vec::new(), Vec::new(), Vec::new(), name)
+}
+
+// ---------------------------------------------------------------------------
+// House
+// ---------------------------------------------------------------------------
+
+/// One-pass House (uniform) maintainer: a single global reservoir of the
+/// whole stream, plus exact group counts so snapshots expose every
+/// observed group (possibly with zero sampled tuples).
+#[derive(Debug, Clone)]
+pub struct HouseMaintainer {
+    dir: GroupDirectory,
+    reservoir: Reservoir<(usize, usize)>,
+    seen: u64,
+}
+
+impl HouseMaintainer {
+    /// A maintainer targeting `space` sampled tuples.
+    pub fn new(space: usize) -> HouseMaintainer {
+        HouseMaintainer {
+            dir: GroupDirectory::default(),
+            reservoir: Reservoir::new(space),
+            seen: 0,
+        }
+    }
+}
+
+impl IncrementalMaintainer for HouseMaintainer {
+    fn insert<R: Rng + ?Sized>(&mut self, row: usize, key: &GroupKey, rng: &mut R) {
+        let (g, _) = self.dir.observe(key);
+        self.reservoir.offer((row, g), rng);
+        self.seen += 1;
+    }
+
+    fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn sample_len(&self) -> usize {
+        self.reservoir.len()
+    }
+
+    fn snapshot<R: Rng + ?Sized>(&self, _rng: &mut R) -> Result<CongressionalSample> {
+        if self.dir.len() == 0 {
+            return empty_snapshot("House");
+        }
+        let mut rows: Vec<Vec<usize>> = vec![Vec::new(); self.dir.len()];
+        for &(row, g) in self.reservoir.items() {
+            rows[g].push(row);
+        }
+        CongressionalSample::from_parts(
+            Vec::new(),
+            self.dir.keys.clone(),
+            self.dir.counts.clone(),
+            rows,
+            "House",
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Senate
+// ---------------------------------------------------------------------------
+
+/// One-pass Senate maintainer: one reservoir per group, each capped at the
+/// current per-group quota `max(1, ⌊X/m⌋)`. When a new group appears the
+/// quota drops and existing reservoirs shrink by uniform discard, so every
+/// group's sample stays a uniform subset of its tuples.
+#[derive(Debug, Clone)]
+pub struct SenateMaintainer {
+    space: usize,
+    dir: GroupDirectory,
+    reservoirs: Vec<Reservoir<usize>>,
+    seen: u64,
+}
+
+impl SenateMaintainer {
+    /// A maintainer targeting `space` sampled tuples across all groups.
+    pub fn new(space: usize) -> SenateMaintainer {
+        SenateMaintainer {
+            space,
+            dir: GroupDirectory::default(),
+            reservoirs: Vec::new(),
+            seen: 0,
+        }
+    }
+
+    fn quota(&self) -> usize {
+        (self.space / self.dir.len().max(1)).max(1)
+    }
+}
+
+impl IncrementalMaintainer for SenateMaintainer {
+    fn insert<R: Rng + ?Sized>(&mut self, row: usize, key: &GroupKey, rng: &mut R) {
+        let (g, new) = self.dir.observe(key);
+        if new {
+            let quota = self.quota();
+            for r in &mut self.reservoirs {
+                r.shrink(quota, rng);
+            }
+            self.reservoirs.push(Reservoir::new(quota));
+        }
+        self.reservoirs[g].offer(row, rng);
+        self.seen += 1;
+    }
+
+    fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn sample_len(&self) -> usize {
+        self.reservoirs.iter().map(Reservoir::len).sum()
+    }
+
+    fn snapshot<R: Rng + ?Sized>(&self, _rng: &mut R) -> Result<CongressionalSample> {
+        if self.dir.len() == 0 {
+            return empty_snapshot("Senate");
+        }
+        let rows: Vec<Vec<usize>> = self.reservoirs.iter().map(|r| r.items().to_vec()).collect();
+        CongressionalSample::from_parts(
+            Vec::new(),
+            self.dir.keys.clone(),
+            self.dir.counts.clone(),
+            rows,
+            "Senate",
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Basic Congress
+// ---------------------------------------------------------------------------
+
+/// One-pass Basic Congress maintainer (Theorem 6.1): the union of a global
+/// `y`-reservoir (the House part) and per-group reservoirs of quota
+/// `⌈y/m⌉` (the Senate part). Snapshots rerun the Basic Congress
+/// allocation over the exact maintained counts and subsample the union
+/// pool down to the integer targets, so the published sample respects the
+/// budget while every observed group keeps at least one tuple.
+#[derive(Debug, Clone)]
+pub struct BasicCongressMaintainer {
+    y: usize,
+    dir: GroupDirectory,
+    global: Reservoir<(usize, usize)>,
+    per_group: Vec<Reservoir<usize>>,
+    seen: u64,
+}
+
+impl BasicCongressMaintainer {
+    /// A maintainer with House/Senate halves of size `y` each.
+    pub fn new(y: usize) -> BasicCongressMaintainer {
+        BasicCongressMaintainer {
+            y,
+            dir: GroupDirectory::default(),
+            global: Reservoir::new(y),
+            per_group: Vec::new(),
+            seen: 0,
+        }
+    }
+
+    fn quota(&self) -> usize {
+        self.y.div_ceil(self.dir.len().max(1)).max(1)
+    }
+}
+
+impl IncrementalMaintainer for BasicCongressMaintainer {
+    fn insert<R: Rng + ?Sized>(&mut self, row: usize, key: &GroupKey, rng: &mut R) {
+        let (g, new) = self.dir.observe(key);
+        if new {
+            let quota = self.quota();
+            for r in &mut self.per_group {
+                r.shrink(quota, rng);
+            }
+            self.per_group.push(Reservoir::new(quota));
+        }
+        self.global.offer((row, g), rng);
+        self.per_group[g].offer(row, rng);
+        self.seen += 1;
+    }
+
+    fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn sample_len(&self) -> usize {
+        self.global.len() + self.per_group.iter().map(Reservoir::len).sum::<usize>()
+    }
+
+    fn snapshot<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<CongressionalSample> {
+        if self.dir.len() == 0 {
+            return empty_snapshot("BasicCongress");
+        }
+        let mut pools: Vec<Vec<usize>> =
+            self.per_group.iter().map(|r| r.items().to_vec()).collect();
+        for &(row, g) in self.global.items() {
+            pools[g].push(row);
+        }
+        for group in &mut pools {
+            group.sort_unstable();
+            group.dedup();
+        }
+        // The union pool holds up to 2y tuples; the published sample must
+        // respect the budget. Rerun the Basic Congress allocation over the
+        // exact maintained counts and subsample each group's pool to its
+        // integer target (a uniform subset of a uniform pool stays uniform
+        // within the group). Every observed group keeps at least one tuple.
+        let cols: Vec<ColumnId> = (0..self.dir.keys[0].len()).map(ColumnId).collect();
+        let census =
+            GroupCensus::from_counts(cols, self.dir.keys.clone(), self.dir.counts.clone())?;
+        let alloc = BasicCongress.allocate(&census, self.y as f64)?;
+        let targets = alloc.integer_counts(census.sizes());
+        let rows: Vec<Vec<usize>> = pools
+            .iter()
+            .zip(&targets)
+            .map(|(pool, &t)| crate::sample::sample_without_replacement(pool, t.max(1), rng))
+            .collect();
+        CongressionalSample::from_parts(
+            Vec::new(),
+            self.dir.keys.clone(),
+            self.dir.counts.clone(),
+            rows,
+            "BasicCongress",
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Congress
+// ---------------------------------------------------------------------------
+
+/// One-pass Congress maintainer (the Eq-8 scheme): exact counts for every
+/// finest group plus a generously-capped per-group reservoir. A snapshot
+/// rebuilds the count cube from the exact counts, runs the Eq-5 Congress
+/// allocation, and subsamples each reservoir down to its integer target —
+/// so snapshots track the census-based allocation exactly wherever the
+/// reservoirs hold enough tuples.
+#[derive(Debug, Clone)]
+pub struct CongressMaintainer {
+    attrs: usize,
+    budget: f64,
+    cap: usize,
+    dir: GroupDirectory,
+    reservoirs: Vec<Reservoir<usize>>,
+    seen: u64,
+}
+
+impl CongressMaintainer {
+    /// A maintainer over `attrs` grouping attributes with tuple budget `y`.
+    pub fn new(attrs: usize, y: f64) -> CongressMaintainer {
+        let cap = (y.max(1.0).ceil() as usize).max(1);
+        CongressMaintainer {
+            attrs,
+            budget: y,
+            cap,
+            dir: GroupDirectory::default(),
+            reservoirs: Vec::new(),
+            seen: 0,
+        }
+    }
+
+    /// Snapshot against an explicit budget (defaults to the construction
+    /// budget when `None`): recompute the Congress allocation from the
+    /// exact maintained counts and subsample the reservoirs to it.
+    pub fn snapshot_with_budget<R: Rng + ?Sized>(
+        &self,
+        budget: Option<f64>,
+        rng: &mut R,
+    ) -> Result<CongressionalSample> {
+        if self.dir.len() == 0 {
+            return empty_snapshot("Congress");
+        }
+        let budget = budget.unwrap_or(self.budget);
+        // Placeholder column ids: the maintainer never saw the schema, only
+        // the keys. Callers attach real columns via set_grouping_columns.
+        let cols: Vec<ColumnId> = (0..self.attrs).map(ColumnId).collect();
+        let census =
+            GroupCensus::from_counts(cols, self.dir.keys.clone(), self.dir.counts.clone())?;
+        let alloc = Congress.allocate(&census, budget)?;
+        let targets = alloc.integer_counts(census.sizes());
+        let rows: Vec<Vec<usize>> = self
+            .reservoirs
+            .iter()
+            .zip(&targets)
+            .map(|(r, &t)| r.subsample(t, rng))
+            .collect();
+        CongressionalSample::from_parts(
+            Vec::new(),
+            self.dir.keys.clone(),
+            self.dir.counts.clone(),
+            rows,
+            "Congress",
+        )
+    }
+}
+
+impl IncrementalMaintainer for CongressMaintainer {
+    fn insert<R: Rng + ?Sized>(&mut self, row: usize, key: &GroupKey, rng: &mut R) {
+        let (g, new) = self.dir.observe(key);
+        if new {
+            self.reservoirs.push(Reservoir::new(self.cap));
+        }
+        self.reservoirs[g].offer(row, rng);
+        self.seen += 1;
+    }
+
+    fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn sample_len(&self) -> usize {
+        self.reservoirs.iter().map(Reservoir::len).sum()
+    }
+
+    fn snapshot<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<CongressionalSample> {
+        self.snapshot_with_budget(None, rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver functions
+// ---------------------------------------------------------------------------
+
+/// Which one-pass maintainer [`construct_one_pass`] should drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OnePassStrategy {
+    /// Uniform sampling ([`HouseMaintainer`]).
+    House,
+    /// Equal per-group allocation ([`SenateMaintainer`]).
+    Senate,
+    /// House ∪ Senate union ([`BasicCongressMaintainer`]).
+    BasicCongress,
+    /// Full Eq-5/Eq-8 Congress ([`CongressMaintainer`]).
+    Congress,
+}
+
+/// Build a sample in a single pass over `rel` without a precomputed
+/// census, streaming every row through the chosen maintainer.
+pub fn construct_one_pass<R: Rng + ?Sized>(
+    rel: &Relation,
+    cols: &[ColumnId],
+    strategy: OnePassStrategy,
+    space: usize,
+    rng: &mut R,
+) -> Result<CongressionalSample> {
+    if rel.row_count() == 0 {
+        return Err(CongressError::EmptyRelation);
+    }
+    fn drive<M: IncrementalMaintainer, R: Rng + ?Sized>(
+        mut m: M,
+        rel: &Relation,
+        cols: &[ColumnId],
+        rng: &mut R,
+    ) -> Result<CongressionalSample> {
+        for row in 0..rel.row_count() {
+            let key = GroupKey::from_row(rel, row, cols);
+            m.insert(row, &key, rng);
+        }
+        m.snapshot(rng)
+    }
+    let mut sample = match strategy {
+        OnePassStrategy::House => drive(HouseMaintainer::new(space), rel, cols, rng)?,
+        OnePassStrategy::Senate => drive(SenateMaintainer::new(space), rel, cols, rng)?,
+        OnePassStrategy::BasicCongress => {
+            drive(BasicCongressMaintainer::new(space), rel, cols, rng)?
+        }
+        OnePassStrategy::Congress => drive(
+            CongressMaintainer::new(cols.len(), space as f64),
+            rel,
+            cols,
+            rng,
+        )?,
+    };
+    sample.set_grouping_columns(cols.to_vec());
+    Ok(sample)
+}
+
+/// Cube-based construction (§4.6): allocate per-group sample sizes from a
+/// precomputed census and draw them exactly.
+pub fn construct_with_census<S: AllocationStrategy, R: Rng>(
+    rel: &Relation,
+    census: &GroupCensus,
+    strategy: &S,
+    space: f64,
+    rng: &mut R,
+) -> Result<CongressionalSample> {
+    CongressionalSample::draw(rel, census, strategy, space, rng)
+}
+
+/// The §4.6 "shared lattice walk" Congress variant: compute every tuple's
+/// Eq-8 inclusion probability (one walk over the grouping lattice, shared
+/// by all tuples of a finest group) and take a single Bernoulli pass over
+/// the relation.
+pub fn construct_congress_shared<R: Rng + ?Sized>(
+    rel: &Relation,
+    census: &GroupCensus,
+    space: f64,
+    rng: &mut R,
+) -> Result<CongressionalSample> {
+    let probs = per_tuple_probabilities(census, space)?;
+    let group_of_row = census.group_of_row().ok_or_else(|| {
+        CongressError::CensusMismatch("census was built from counts, not rows".into())
+    })?;
+    if group_of_row.len() != rel.row_count() {
+        return Err(CongressError::CensusMismatch(format!(
+            "census covers {} rows, relation has {}",
+            group_of_row.len(),
+            rel.row_count()
+        )));
+    }
+    let mut rows: Vec<Vec<usize>> = vec![Vec::new(); census.group_count()];
+    for (r, &g) in group_of_row.iter().enumerate() {
+        if rng.gen_bool(probs[g as usize].min(1.0)) {
+            rows[g as usize].push(r);
+        }
+    }
+    CongressionalSample::from_parts(
+        census.grouping_columns().to_vec(),
+        census.keys().to_vec(),
+        census.sizes().to_vec(),
+        rows,
+        "Congress",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use relation::Value;
+
+    fn key(g: i64) -> GroupKey {
+        GroupKey::new(vec![Value::Int(g)])
+    }
+
+    #[test]
+    fn reservoir_holds_min_seen_capacity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = Reservoir::new(10);
+        for i in 0..5usize {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.len(), 5);
+        for i in 5..100usize {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.seen(), 100);
+        let mut items = r.items().to_vec();
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), 10);
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        // Each of 100 items should land in a 10-slot reservoir ~10% of the
+        // time across trials.
+        let mut hits = vec![0u32; 100];
+        for seed in 0..400 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut r = Reservoir::new(10);
+            for i in 0..100usize {
+                r.offer(i, &mut rng);
+            }
+            for &i in r.items() {
+                hits[i] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((10..=90).contains(&h), "item {i} selected {h}/400 times");
+        }
+    }
+
+    #[test]
+    fn reservoir_shrink_preserves_subset() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut r = Reservoir::new(20);
+        for i in 0..50usize {
+            r.offer(i, &mut rng);
+        }
+        r.shrink(5, &mut rng);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.capacity(), 5);
+        for i in 50..200usize {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn house_snapshot_covers_all_groups_with_exact_sizes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = HouseMaintainer::new(3);
+        for row in 0..30usize {
+            m.insert(row, &key((row % 5) as i64), &mut rng);
+        }
+        let s = m.snapshot(&mut rng).unwrap();
+        assert_eq!(s.stratum_count(), 5);
+        assert_eq!(s.group_sizes(), &[6, 6, 6, 6, 6]);
+        assert_eq!(s.total_sampled(), 3);
+    }
+
+    #[test]
+    fn senate_quota_shrinks_as_groups_arrive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = SenateMaintainer::new(12);
+        // 6 groups → quota 2 each.
+        for row in 0..600usize {
+            m.insert(row, &key((row % 6) as i64), &mut rng);
+        }
+        let s = m.snapshot(&mut rng).unwrap();
+        for rows in s.sampled_rows() {
+            assert_eq!(rows.len(), 2);
+        }
+    }
+
+    #[test]
+    fn congress_snapshot_total_respects_budget() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut m = CongressMaintainer::new(1, 50.0);
+        for row in 0..2_000usize {
+            m.insert(row, &key((row % 4) as i64), &mut rng);
+        }
+        let s = m.snapshot(&mut rng).unwrap();
+        assert_eq!(s.stratum_count(), 4);
+        let total = s.total_sampled();
+        assert!((45..=55).contains(&total), "total {total}");
+    }
+}

@@ -63,6 +63,28 @@ impl GroupCensus {
         })
     }
 
+    /// Parallel [`Self::build`]: the census over `cols` using the sharded
+    /// parallel group index ([`GroupIndex::par_build`]). The result is
+    /// identical to the sequential census for any thread count — group ids
+    /// are assigned by global first-occurrence row either way.
+    pub fn par_build(rel: &Relation, cols: &[ColumnId]) -> Result<GroupCensus> {
+        for &c in cols {
+            rel.schema().field(c)?;
+        }
+        if rel.is_empty() {
+            return Err(CongressError::EmptyRelation);
+        }
+        let index = GroupIndex::par_build(rel, cols);
+        let sizes: Vec<u64> = index.group_sizes().into_iter().map(|s| s as u64).collect();
+        Ok(GroupCensus {
+            grouping_columns: cols.to_vec(),
+            keys: index.keys().to_vec(),
+            sizes,
+            total: rel.row_count() as u64,
+            group_of_row: Some(index.group_ids().to_vec()),
+        })
+    }
+
     /// Build a census directly from known counts — for synthetic analyses
     /// (e.g. the Eq-7 pathological distribution) where materializing rows is
     /// infeasible. Samples cannot be drawn from such a census.

@@ -28,6 +28,12 @@
 //!   ([`bounds`]) matching Eq 2 and the Aqua error-bound machinery.
 //! * **Error metrics** ([`metrics`]) — the ε∞ / εL1 / εL2 group-by error
 //!   norms of Definition 3.1, used by every accuracy experiment.
+//! * **Parallel construction** — census building
+//!   ([`census::GroupCensus::par_build`]), allocation lattice walks, and
+//!   per-stratum draws ([`sample::CongressionalSample::draw_par`]) run
+//!   across threads, with a deterministic-seeding layer ([`seed::SeedSpec`])
+//!   deriving one RNG stream per finest group so the constructed sample is
+//!   bit-for-bit identical at any thread count.
 
 pub mod alloc;
 pub mod bounds;
@@ -38,6 +44,7 @@ pub mod error;
 pub mod lattice;
 pub mod metrics;
 pub mod sample;
+pub mod seed;
 pub mod snapshot;
 
 pub use alloc::{Allocation, AllocationStrategy, BasicCongress, Congress, House, Senate};
@@ -46,3 +53,4 @@ pub use cube::CountCube;
 pub use error::{CongressError, Result};
 pub use metrics::{compare_results, mac_error, GroupByErrorReport};
 pub use sample::CongressionalSample;
+pub use seed::SeedSpec;

@@ -3,6 +3,7 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use engine::StratifiedInput;
@@ -11,6 +12,7 @@ use relation::{ColumnId, GroupKey, Relation};
 use crate::alloc::{Allocation, AllocationStrategy};
 use crate::census::GroupCensus;
 use crate::error::{CongressError, Result};
+use crate::seed::SeedSpec;
 
 /// A drawn biased sample: per finest group, the sampled row indices into
 /// the base relation, along with the census facts needed to scale
@@ -108,6 +110,105 @@ impl CongressionalSample {
         Ok(CongressionalSample {
             grouping_columns: census.grouping_columns().to_vec(),
             strata_keys: census.keys().to_vec(),
+            group_sizes: census.sizes().to_vec(),
+            sampled_rows,
+            strategy_name: format!("{} (Bernoulli)", strategy.name()),
+        })
+    }
+
+    /// Parallel variant of [`Self::draw`]: strata are filled concurrently,
+    /// each from its own RNG stream derived from `spec` by group key, so
+    /// the result is bit-for-bit identical for *any* thread count —
+    /// including the sequential `parallelism = 1` path.
+    pub fn draw_par<S: AllocationStrategy + ?Sized>(
+        rel: &Relation,
+        census: &GroupCensus,
+        strategy: &S,
+        space: f64,
+        spec: &SeedSpec,
+    ) -> Result<CongressionalSample> {
+        let allocation = strategy.allocate(census, space)?;
+        Self::draw_with_allocation_par(rel, census, &allocation, strategy.name(), spec)
+    }
+
+    /// Parallel variant of [`Self::draw_with_allocation`] (see
+    /// [`Self::draw_par`] for the determinism contract).
+    pub fn draw_with_allocation_par(
+        rel: &Relation,
+        census: &GroupCensus,
+        allocation: &Allocation,
+        strategy_name: &str,
+        spec: &SeedSpec,
+    ) -> Result<CongressionalSample> {
+        if census.group_of_row().map(<[u32]>::len) != Some(rel.row_count()) {
+            return Err(CongressError::CensusMismatch(format!(
+                "census covers {:?} rows, relation has {}",
+                census.group_of_row().map(<[u32]>::len),
+                rel.row_count()
+            )));
+        }
+        let counts = allocation.integer_counts(census.sizes());
+        let rows_by_group = census.rows_by_group()?;
+        let keys = census.keys();
+        let sampled_rows: Vec<Vec<usize>> = rows_by_group
+            .par_iter()
+            .enumerate()
+            .map(|(g, rows)| {
+                let mut rng = spec.rng_for_group(&keys[g]);
+                sample_without_replacement(rows, counts[g], &mut rng)
+            })
+            .collect();
+        Ok(CongressionalSample {
+            grouping_columns: census.grouping_columns().to_vec(),
+            strata_keys: keys.to_vec(),
+            group_sizes: census.sizes().to_vec(),
+            sampled_rows,
+            strategy_name: strategy_name.to_string(),
+        })
+    }
+
+    /// Parallel variant of [`Self::draw_bernoulli`]: each group's Bernoulli
+    /// coin flips come from that group's own seeded stream, walked over the
+    /// group's rows in base-relation order — scheduling-independent, like
+    /// [`Self::draw_par`].
+    pub fn draw_bernoulli_par<S: AllocationStrategy + ?Sized>(
+        rel: &Relation,
+        census: &GroupCensus,
+        strategy: &S,
+        space: f64,
+        spec: &SeedSpec,
+    ) -> Result<CongressionalSample> {
+        let allocation = strategy.allocate(census, space)?;
+        if census.group_of_row().map(<[u32]>::len) != Some(rel.row_count()) {
+            return Err(CongressError::CensusMismatch(format!(
+                "census covers {:?} rows, relation has {}",
+                census.group_of_row().map(<[u32]>::len),
+                rel.row_count()
+            )));
+        }
+        let probs: Vec<f64> = allocation
+            .targets()
+            .iter()
+            .zip(census.sizes())
+            .map(|(&t, &n)| (t / n as f64).min(1.0))
+            .collect();
+        let rows_by_group = census.rows_by_group()?;
+        let keys = census.keys();
+        let sampled_rows: Vec<Vec<usize>> = rows_by_group
+            .par_iter()
+            .enumerate()
+            .map(|(g, rows)| {
+                let mut rng = spec.rng_for_group(&keys[g]);
+                let p = probs[g];
+                rows.iter()
+                    .copied()
+                    .filter(|_| rng.gen::<f64>() < p)
+                    .collect()
+            })
+            .collect();
+        Ok(CongressionalSample {
+            grouping_columns: census.grouping_columns().to_vec(),
+            strata_keys: keys.to_vec(),
             group_sizes: census.sizes().to_vec(),
             sampled_rows,
             strategy_name: format!("{} (Bernoulli)", strategy.name()),
@@ -258,7 +359,11 @@ impl CongressionalSample {
 /// Uniform sample of `want` distinct elements from `rows`, preserving no
 /// particular order. Uses a partial Fisher–Yates over a copied index
 /// vector — O(|rows|) copy, O(want) shuffling.
-fn sample_without_replacement<R: Rng>(rows: &[usize], want: usize, rng: &mut R) -> Vec<usize> {
+pub(crate) fn sample_without_replacement<R: Rng + ?Sized>(
+    rows: &[usize],
+    want: usize,
+    rng: &mut R,
+) -> Vec<usize> {
     let want = want.min(rows.len());
     if want == 0 {
         return Vec::new();
@@ -436,6 +541,75 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a.sampled_rows(), b.sampled_rows());
+    }
+
+    #[test]
+    fn parallel_draw_identical_across_thread_counts() {
+        let (rel, census) = setup();
+        let spec = SeedSpec::new(11);
+        let mut outputs = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let s = pool
+                .install(|| CongressionalSample::draw_par(&rel, &census, &Congress, 80.0, &spec))
+                .unwrap();
+            outputs.push(s);
+        }
+        for s in &outputs[1..] {
+            assert_eq!(outputs[0].sampled_rows(), s.sampled_rows());
+            assert_eq!(outputs[0].strata_keys(), s.strata_keys());
+        }
+    }
+
+    #[test]
+    fn parallel_bernoulli_identical_across_thread_counts() {
+        let (rel, census) = setup();
+        let spec = SeedSpec::new(23);
+        let mut outputs = Vec::new();
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let s = pool
+                .install(|| {
+                    CongressionalSample::draw_bernoulli_par(&rel, &census, &Congress, 100.0, &spec)
+                })
+                .unwrap();
+            outputs.push(s);
+        }
+        assert_eq!(outputs[0].sampled_rows(), outputs[1].sampled_rows());
+        // A different root seed must perturb the draw.
+        let other = CongressionalSample::draw_bernoulli_par(
+            &rel,
+            &census,
+            &Congress,
+            100.0,
+            &SeedSpec::new(24),
+        )
+        .unwrap();
+        assert_ne!(outputs[0].sampled_rows(), other.sampled_rows());
+    }
+
+    #[test]
+    fn parallel_draw_respects_allocation_counts() {
+        let (rel, census) = setup();
+        let spec = SeedSpec::new(3);
+        let alloc = Senate.allocate(&census, 100.0).unwrap();
+        let s =
+            CongressionalSample::draw_with_allocation_par(&rel, &census, &alloc, "Senate", &spec)
+                .unwrap();
+        assert_eq!(s.total_sampled(), 100);
+        let by_group = census.rows_by_group().unwrap();
+        for (g, rows) in s.sampled_rows().iter().enumerate() {
+            assert_eq!(rows.len(), 25);
+            for &r in rows {
+                assert!(by_group[g].contains(&r), "row {r} not in stratum {g}");
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,12 @@
 
 use std::collections::HashMap;
 
+use rayon::prelude::*;
+
 use relation::{ColumnId, GroupKey, Relation};
+
+/// Below this row count the sharded parallel build is pure overhead.
+const PAR_MIN_ROWS: usize = 4096;
 
 /// Dense group ids for every row of a relation under one grouping.
 #[derive(Debug, Clone)]
@@ -106,6 +111,123 @@ impl GroupIndex {
                     next
                 });
                 group_of_row[r] = gid;
+            }
+        }
+
+        GroupIndex {
+            cols: cols.to_vec(),
+            group_of_row,
+            keys,
+        }
+    }
+
+    /// Parallel [`Self::build`]: shard the rows across threads, build a
+    /// local dictionary per shard, then merge shards in row order.
+    ///
+    /// Produces an index *identical* to the sequential build for any
+    /// thread count: a group's id is its rank by global first-occurrence
+    /// row, and merging shards in order (preserving each shard's local
+    /// first-seen order) reproduces exactly that rank — the registration
+    /// order is a property of the data, not of the chunking.
+    pub fn par_build(rel: &Relation, cols: &[ColumnId]) -> GroupIndex {
+        Self::par_build_filtered(rel, cols, None)
+    }
+
+    /// Parallel [`Self::build_filtered`] (see [`Self::par_build`] for the
+    /// equivalence argument). Falls back to the sequential build for small
+    /// inputs, a single thread, or the empty grouping.
+    pub fn par_build_filtered(
+        rel: &Relation,
+        cols: &[ColumnId],
+        mask: Option<&[bool]>,
+    ) -> GroupIndex {
+        let n = rel.row_count();
+        let threads = rayon::current_num_threads().max(1);
+        if cols.is_empty() || threads == 1 || n < PAR_MIN_ROWS {
+            return Self::build_filtered(rel, cols, mask);
+        }
+        let live = |r: usize| mask.is_none_or(|m| m[r]);
+
+        let chunk = n.div_ceil(threads);
+        let ranges: Vec<(usize, usize)> = (0..threads)
+            .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+            .filter(|(a, b)| a < b)
+            .collect();
+
+        // Shard pass: per shard, a local dictionary over the raw per-column
+        // codes. `codes_by_local_id[g]` is the composite code of local group
+        // `g`, `first_rows[g]` its first-occurrence row inside the shard,
+        // local ids in shard first-seen order.
+        struct Shard {
+            start: usize,
+            codes_by_local_id: Vec<Vec<u64>>,
+            first_rows: Vec<usize>,
+            local_gids: Vec<u32>,
+        }
+        let shards: Vec<Shard> = ranges
+            .into_par_iter()
+            .map(|(start, end)| {
+                let columns: Vec<_> = cols.iter().map(|&c| rel.column(c)).collect();
+                let mut map: HashMap<Vec<u64>, u32> = HashMap::new();
+                let mut codes_by_local_id: Vec<Vec<u64>> = Vec::new();
+                let mut first_rows: Vec<usize> = Vec::new();
+                let mut local_gids = vec![u32::MAX; end - start];
+                for r in start..end {
+                    if !live(r) {
+                        continue;
+                    }
+                    let code: Vec<u64> = columns.iter().map(|col| col.group_code(r)).collect();
+                    let gid = match map.get(&code) {
+                        Some(&g) => g,
+                        None => {
+                            let g = codes_by_local_id.len() as u32;
+                            codes_by_local_id.push(code.clone());
+                            first_rows.push(r);
+                            map.insert(code, g);
+                            g
+                        }
+                    };
+                    local_gids[r - start] = gid;
+                }
+                Shard {
+                    start,
+                    codes_by_local_id,
+                    first_rows,
+                    local_gids,
+                }
+            })
+            .collect();
+
+        // Merge pass (sequential, over distinct groups only): shards in row
+        // order, local ids in shard first-seen order, so a group is
+        // registered at its global first-occurrence row.
+        let mut global: HashMap<Vec<u64>, u32> = HashMap::new();
+        let mut keys: Vec<GroupKey> = Vec::new();
+        let mut remaps: Vec<Vec<u32>> = Vec::with_capacity(shards.len());
+        for shard in &shards {
+            let mut remap = Vec::with_capacity(shard.codes_by_local_id.len());
+            for (local, code) in shard.codes_by_local_id.iter().enumerate() {
+                let gid = match global.get(code) {
+                    Some(&g) => g,
+                    None => {
+                        let g = keys.len() as u32;
+                        keys.push(GroupKey::from_row(rel, shard.first_rows[local], cols));
+                        global.insert(code.clone(), g);
+                        g
+                    }
+                };
+                remap.push(gid);
+            }
+            remaps.push(remap);
+        }
+
+        // Fill pass: translate local ids to global ids.
+        let mut group_of_row = vec![u32::MAX; n];
+        for (shard, remap) in shards.iter().zip(&remaps) {
+            for (i, &lg) in shard.local_gids.iter().enumerate() {
+                if lg != u32::MAX {
+                    group_of_row[shard.start + i] = remap[lg as usize];
+                }
             }
         }
 
@@ -276,6 +398,58 @@ mod tests {
         let cols: Vec<ColumnId> = (0..5).map(ColumnId).collect();
         let ix = GroupIndex::build(&r, &cols);
         assert_eq!(ix.group_count(), 8); // c5 = i makes every row distinct
+    }
+
+    /// A relation big enough to exercise the sharded parallel path
+    /// (> PAR_MIN_ROWS), with group first-occurrences spread across shards.
+    fn big_rel(n: usize) -> Relation {
+        let mut b = RelationBuilder::new()
+            .column("a", DataType::Int)
+            .column("b", DataType::Str)
+            .column("v", DataType::Float);
+        for i in 0..n {
+            // Deliberately non-monotone group pattern so late shards see
+            // both old and brand-new groups.
+            let g = (i * 7919) % 97;
+            b.push_row(&[
+                Value::Int((g % 13) as i64),
+                Value::str(format!("s{}", g / 13).as_str()),
+                Value::from(i as f64),
+            ])
+            .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn par_build_matches_sequential_at_any_thread_count() {
+        let r = big_rel(10_000);
+        let cols = r.schema().column_ids(&["a", "b"]).unwrap();
+        let seq = GroupIndex::build(&r, &cols);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let par = pool.install(|| GroupIndex::par_build(&r, &cols));
+            assert_eq!(par.group_ids(), seq.group_ids(), "threads = {threads}");
+            assert_eq!(par.keys(), seq.keys(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_build_filtered_matches_sequential() {
+        let r = big_rel(8_192);
+        let cols = r.schema().column_ids(&["a", "b"]).unwrap();
+        let mask: Vec<bool> = (0..r.row_count()).map(|i| i % 3 != 0).collect();
+        let seq = GroupIndex::build_filtered(&r, &cols, Some(&mask));
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let par = pool.install(|| GroupIndex::par_build_filtered(&r, &cols, Some(&mask)));
+        assert_eq!(par.group_ids(), seq.group_ids());
+        assert_eq!(par.keys(), seq.keys());
     }
 
     #[test]

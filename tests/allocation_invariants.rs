@@ -1,0 +1,137 @@
+//! Statistical invariants of the §4 allocation strategies, checked over a
+//! Zipf-skewed lineitem relation (the paper's experimental regime): budget
+//! compliance, Senate's equal shares, Congress's per-subgroup dominance
+//! over House and Senate before scaling, and the Eq-6 bound on the
+//! scale-down factor `f`.
+
+use congress::alloc::{AllocationStrategy, BasicCongress, Congress, House, Senate};
+use congress::GroupCensus;
+use tpcd::{GeneratorConfig, TpcdDataset};
+
+const SPACE: f64 = 1_500.0;
+
+/// Zipf-skewed dataset (skew 0.86, the paper's default): group sizes span
+/// orders of magnitude, which is exactly where the strategies disagree.
+fn zipf_census() -> GroupCensus {
+    let ds = TpcdDataset::generate(GeneratorConfig {
+        table_size: 50_000,
+        num_groups: 200,
+        group_skew: 0.86,
+        agg_skew: 0.5,
+        seed: 17,
+    });
+    GroupCensus::build(&ds.relation, &ds.grouping_columns()).unwrap()
+}
+
+fn strategies() -> Vec<(&'static str, Box<dyn AllocationStrategy>)> {
+    vec![
+        ("House", Box::new(House)),
+        ("Senate", Box::new(Senate)),
+        ("BasicCongress", Box::new(BasicCongress)),
+        ("Congress", Box::new(Congress)),
+    ]
+}
+
+/// Every strategy's total allocation respects the budget `X`, both as
+/// fractional targets and after integerization.
+#[test]
+fn total_allocation_within_budget() {
+    let census = zipf_census();
+    for (name, strategy) in strategies() {
+        let alloc = strategy.allocate(&census, SPACE).unwrap();
+        assert!(
+            alloc.total() <= SPACE * (1.0 + 1e-9),
+            "{name}: fractional total {} exceeds X = {SPACE}",
+            alloc.total()
+        );
+        let drawn: usize = alloc.integer_counts(census.sizes()).iter().sum();
+        assert!(
+            drawn as f64 <= SPACE + 0.5,
+            "{name}: integerized total {drawn} exceeds X = {SPACE}"
+        );
+    }
+}
+
+/// Senate gives every non-empty finest group exactly the same fractional
+/// share, `X / m`, regardless of group size.
+#[test]
+fn senate_allocates_equally_per_group() {
+    let census = zipf_census();
+    let alloc = Senate.allocate(&census, SPACE).unwrap();
+    let share = SPACE / census.group_count() as f64;
+    for (g, &t) in alloc.targets().iter().enumerate() {
+        assert!(
+            (t - share).abs() < 1e-9,
+            "group {g}: Senate share {t} != X/m = {share}"
+        );
+    }
+}
+
+/// Congress's pre-scaling target for each finest subgroup dominates both
+/// the House and the Senate allocations — its maximum runs over every
+/// grouping `T ⊆ G`, and `T = ∅` / `T = G` reproduce those two.
+#[test]
+fn congress_dominates_house_and_senate_before_scaling() {
+    let census = zipf_census();
+    let raw = Congress::raw_targets(&census, SPACE);
+    let house = House.allocate(&census, SPACE).unwrap();
+    let senate = Senate.allocate(&census, SPACE).unwrap();
+    for (g, &r) in raw.iter().enumerate() {
+        let floor = house.targets()[g].max(senate.targets()[g]);
+        assert!(
+            r >= floor - 1e-9,
+            "group {g}: raw Congress {r} below max(House, Senate) = {floor}"
+        );
+    }
+    // The published allocation is exactly the raw target scaled by f.
+    let alloc = Congress.allocate(&census, SPACE).unwrap();
+    let f = alloc.scale_down_factor();
+    for (g, &r) in raw.iter().enumerate() {
+        assert!(
+            (alloc.targets()[g] - f * r).abs() < 1e-6,
+            "group {g}: target is not f times the raw allocation"
+        );
+    }
+}
+
+/// The Eq-6 scale-down factor is bounded: `f ∈ (2^-|G|, 1]`. The raw
+/// per-group maximum can overshoot the budget by at most the number of
+/// groupings in the lattice, `2^|G|`.
+#[test]
+fn congress_scale_down_factor_in_bounds() {
+    let census = zipf_census();
+    let alloc = Congress.allocate(&census, SPACE).unwrap();
+    let f = alloc.scale_down_factor();
+    let k = census.grouping_columns().len() as i32;
+    assert!(f <= 1.0, "f = {f} exceeds 1");
+    assert!(
+        f > 2f64.powi(-k),
+        "f = {f} at or below the 2^-|G| = {} lower bound",
+        2f64.powi(-k)
+    );
+}
+
+/// BasicCongress interpolates: per group it starts from
+/// max(House, Senate) and scales down to the budget, so its pre-scaling
+/// share dominates both and its scale factor obeys the two-term bound
+/// `f ∈ (1/2, 1]`.
+#[test]
+fn basic_congress_dominance_and_bound() {
+    let census = zipf_census();
+    let alloc = BasicCongress.allocate(&census, SPACE).unwrap();
+    let f = alloc.scale_down_factor();
+    assert!(
+        f <= 1.0 && f > 0.5,
+        "BasicCongress f = {f} outside (1/2, 1]"
+    );
+    let house = House.allocate(&census, SPACE).unwrap();
+    let senate = Senate.allocate(&census, SPACE).unwrap();
+    for g in 0..census.group_count() {
+        let floor = house.targets()[g].max(senate.targets()[g]);
+        assert!(
+            alloc.targets()[g] >= f * floor - 1e-9,
+            "group {g}: BasicCongress {} below f * max(House, Senate)",
+            alloc.targets()[g]
+        );
+    }
+}

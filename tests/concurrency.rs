@@ -78,6 +78,69 @@ fn concurrent_queries_and_inserts() {
     assert_eq!(aqua.table_rows(), 20_000 + 40 * 250);
 }
 
+/// Readers keep answering while a writer repeatedly drives the bulk
+/// *parallel* reconstruction path (plus insert batches between rebuilds).
+/// Every answer must come from a complete synopsis — the rebuild swaps the
+/// plan, input, and sample under the write lock, so a reader never sees a
+/// torn mix of old and new strata.
+#[test]
+fn queries_during_parallel_rebuild() {
+    let aqua = Arc::new(
+        Aqua::build(
+            table(20_000),
+            vec![ColumnId(0)],
+            AquaConfig {
+                space: 600,
+                strategy: SamplingStrategy::Congress,
+                seed: 5,
+                parallelism: 4,
+                ..AquaConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let query = GroupByQuery::new(vec![ColumnId(0)], vec![AggregateSpec::count("c")]);
+
+    let mut readers = Vec::new();
+    for _ in 0..4 {
+        let aqua = Arc::clone(&aqua);
+        let stop = Arc::clone(&stop);
+        let query = query.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut answered = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let ans = aqua.answer(&query).expect("query during rebuild");
+                // A torn read would surface as a group with a garbage
+                // count or a partially registered stratum set.
+                assert_eq!(ans.result.group_count(), 3, "strata set must be whole");
+                let total: f64 = ans.result.iter().map(|(_, vals)| vals[0]).sum();
+                assert!(total > 0.0, "counts must be positive");
+                assert_eq!(ans.bounds.len(), 3, "bounds must cover every group");
+                answered += 1;
+            }
+            answered
+        }));
+    }
+
+    // Writer: parallel rebuilds interleaved with inserts into existing
+    // groups (so the expected group count stays 3 throughout).
+    for round in 0..12 {
+        let g = ["a", "b", "c"][round % 3];
+        let rows: Vec<Vec<Value>> = (0..200)
+            .map(|i| vec![Value::str(g), Value::from(i as f64)])
+            .collect();
+        aqua.insert_batch(&rows).expect("insert between rebuilds");
+        aqua.rebuild().expect("parallel rebuild under readers");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let total_answers: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total_answers > 0, "readers must have made progress");
+    assert_eq!(aqua.table_rows(), 20_000 + 12 * 200);
+    // The final synopsis reflects the last rebuild, within budget.
+    assert!(aqua.synopsis_rows() > 0);
+}
+
 #[test]
 fn warehouse_shared_across_threads() {
     let w = Arc::new(aqua::Warehouse::new());

@@ -107,6 +107,7 @@ fn aqua_end_to_end_matches_direct_plan() {
                 rewrite,
                 confidence: 0.9,
                 seed: 17,
+                parallelism: 0,
             },
         )
         .unwrap();

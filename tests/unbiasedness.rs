@@ -123,6 +123,7 @@ fn chebyshev_bounds_cover_truth_at_least_at_confidence() {
                 rewrite: RewriteChoice::Integrated,
                 confidence: 0.9,
                 seed: 5_000 + t,
+                parallelism: 0,
             },
         )
         .unwrap();

@@ -1,0 +1,93 @@
+//! Offline `crossbeam` facade.
+//!
+//! Only `crossbeam::thread::scope` is used by the workspace; it is mapped
+//! onto `std::thread::scope` (stable since 1.63), preserving crossbeam's
+//! call shape: the spawned closure receives the scope as an argument and
+//! `scope(..)` returns a `Result`.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Error payload from a scoped thread that panicked.
+    pub type BoxedPanic = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle passed both to the `scope` closure and to every
+    /// spawned closure (crossbeam lets children spawn siblings).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, BoxedPanic> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// (crossbeam convention) so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a thread scope; all spawned threads are joined before
+    /// this returns. Matches crossbeam's `Result`-returning signature —
+    /// with std scopes a panic in an unjoined child propagates as a panic
+    /// rather than an `Err`, which is strictly less forgiving, so callers
+    /// written against crossbeam still behave correctly.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, BoxedPanic>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1, 2, 3, 4];
+        let total: i32 = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_from_child() {
+        let n = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

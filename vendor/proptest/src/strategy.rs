@@ -1,0 +1,232 @@
+//! The `Strategy` trait and combinators.
+
+use rand::distributions::uniform::SampleRange;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// RNG used to generate test cases.
+pub type TestRng = rand::rngs::StdRng;
+
+/// A recipe for producing values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a deterministic function of an RNG.
+pub trait Strategy {
+    /// Type of value produced.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Produce a value, then build a second strategy from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values for which `f` returns `Some`, retrying otherwise.
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+
+    /// Keep only values passing the predicate, retrying otherwise.
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+}
+
+/// How many rejected draws a filtering strategy tolerates before giving
+/// up — generous because retries are cheap without shrinking.
+const MAX_FILTER_RETRIES: usize = 10_000;
+
+/// Strategy producing a fixed value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: Copy,
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: Copy,
+    RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Clone, Debug)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        for _ in 0..MAX_FILTER_RETRIES {
+            if let Some(v) = (self.f)(self.inner.new_value(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map rejected every draw: {}", self.reason);
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_FILTER_RETRIES {
+            let v = self.inner.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected every draw: {}", self.reason);
+    }
+}
+
+/// Uniform choice between same-typed strategies (backs `prop_oneof!`).
+#[derive(Clone, Debug)]
+pub struct Union<S> {
+    choices: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    /// Build from a non-empty list of alternatives.
+    pub fn new(choices: Vec<S>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+        Union { choices }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        let i = rng.gen_range(0..self.choices.len());
+        self.choices[i].new_value(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+}

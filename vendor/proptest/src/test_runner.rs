@@ -1,0 +1,152 @@
+//! Case runner and failure plumbing for the `proptest!` macro.
+
+use crate::strategy::TestRng;
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Hard failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Alias kept for API parity with real proptest.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result of one test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+/// Drive `body` through `config.cases` seeded cases. Seeds are a pure
+/// function of the test name and case index (plus the optional
+/// `PROPTEST_SEED` env var), so failures are reproducible by re-running
+/// the same binary.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let base: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_CA5E);
+    for case in 0..config.cases {
+        let seed = base ^ fnv1a(test_name) ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "proptest `{test_name}` failed at case {case}/{} (seed {seed:#x}): {e}\n\
+                 (re-run with PROPTEST_SEED={base} to reproduce)",
+                config.cases
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use crate::strategy::Strategy as _;
+
+    #[test]
+    fn seeds_are_stable_per_name_and_case() {
+        let mut draws_a = Vec::new();
+        run_cases(&ProptestConfig::with_cases(5), "stable", |rng| {
+            draws_a.push((0u64..1_000_000).new_value(rng));
+            Ok(())
+        });
+        let mut draws_b = Vec::new();
+        run_cases(&ProptestConfig::with_cases(5), "stable", |rng| {
+            draws_b.push((0u64..1_000_000).new_value(rng));
+            Ok(())
+        });
+        assert_eq!(draws_a, draws_b);
+        assert!(draws_a.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: multiple args, combinators, assertions.
+        #[test]
+        fn macro_end_to_end(
+            xs in crate::collection::vec(0i64..100, 1..20),
+            flag in crate::bool::weighted(0.5),
+            opt in crate::option::of(1u32..5),
+            label in prop_oneof![Just("p"), Just("q")],
+        ) {
+            prop_assert!(xs.iter().all(|&x| (0..100).contains(&x)));
+            prop_assert!(label == "p" || label == "q");
+            if let Some(v) = opt {
+                prop_assert!((1..5).contains(&v));
+            }
+            let doubled = xs.iter().map(|x| x * 2).collect::<Vec<_>>();
+            prop_assert_eq!(doubled.len(), xs.len());
+            prop_assert_ne!(xs.len(), 0, "vec strategy must respect min size");
+            let _ = flag;
+        }
+
+        /// flat_map + filter_map compose.
+        #[test]
+        fn combinators_compose(
+            pair in (1usize..5).prop_flat_map(|n| crate::collection::vec(0usize..10, n))
+                .prop_filter_map("nonempty", |v| if v.is_empty() { None } else { Some(v) }),
+        ) {
+            prop_assert!(!pair.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `always_fails` failed")]
+    fn failures_panic_with_context() {
+        run_cases(&ProptestConfig::with_cases(1), "always_fails", |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

@@ -1,0 +1,54 @@
+//! Sequence helpers: in-place shuffles and random selection on slices.
+
+use crate::Rng;
+
+/// Randomization methods on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle of the whole slice.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Shuffle just enough to uniformly select `amount` distinct elements,
+    /// returned as the first slice (the remainder is the second).
+    fn partial_shuffle<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [Self::Item], &mut [Self::Item]);
+
+    /// Uniformly pick one element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, (&mut *rng).gen_range(0..=i));
+        }
+    }
+
+    fn partial_shuffle<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [T], &mut [T]) {
+        let amount = amount.min(self.len());
+        let len = self.len();
+        for i in 0..amount {
+            self.swap(i, (&mut *rng).gen_range(i..len));
+        }
+        self.split_at_mut(amount)
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(&mut *rng).gen_range(0..self.len())])
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Eager, ordered parallel iterator.
+
+use crate::current_num_threads;
+
+/// Split `items` into one chunk per thread, run `f` over every item on
+/// scoped workers, and reassemble results in input order.
+fn execute<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = current_num_threads().max(1);
+    let n = items.len();
+    if threads == 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let per_chunk: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// An eager parallel iterator: adapters that do real work run immediately
+/// across threads, preserving input order.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item in parallel.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: execute(self.items, f),
+        }
+    }
+
+    /// Apply `f` in parallel, keeping `Some` results (order preserved).
+    pub fn filter_map<U: Send, F: Fn(T) -> Option<U> + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: execute(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    /// Keep items passing the predicate.
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        self.filter_map(move |t| if f(&t) { Some(t) } else { None })
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        execute(self.items, f);
+    }
+
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Gather results (work already happened in the parallel adapters).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Fold to a single value (sequential tail; upstream stages did the
+    /// parallel work).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Compatibility no-op (chunking granularity is fixed per thread).
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(usize, u32, u64, i32, i64);
+
+/// `par_iter()` — parallel iteration over `&self`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Iterate by reference.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoParallelIterator,
+{
+    type Item = <&'data C as IntoParallelIterator>::Item;
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` — parallel iteration over `&mut self`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Item type (a mutable reference).
+    type Item: Send;
+    /// Iterate by mutable reference.
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> ParIter<&'data mut T> {
+        self.as_mut_slice().into_par_iter()
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> ParIter<&'data mut T> {
+        self.into_par_iter()
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline rayon facade.
+//!
+//! Provides the data-parallel surface this workspace uses — `par_iter` /
+//! `into_par_iter` with `map`, `filter_map`, `enumerate`, `for_each`,
+//! `collect`, `sum`, `reduce` — plus `join`, `current_num_threads`, and a
+//! `ThreadPoolBuilder` whose `install` scopes the thread count for the
+//! duration of a closure.
+//!
+//! Execution model (different from real rayon, same observable results):
+//! parallel stages are **eager**. Each adapter that does real work splits
+//! its items into one ordered chunk per thread, runs the chunks on scoped
+//! `std::thread` workers, and reassembles results in input order. There
+//! is no work stealing, but ordering is deterministic by construction —
+//! which is exactly the property the deterministic-seeding layer on top
+//! relies on.
+//!
+//! Thread count resolution order: `ThreadPoolBuilder::install` override
+//! (thread-local) → `RAYON_NUM_THREADS` env var → available parallelism.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+pub mod iter;
+
+pub mod prelude {
+    //! The usual glob import.
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+}
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// Number of worker threads parallel operations will use right now.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|o| o.get()) {
+        return n;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    } else {
+        std::thread::scope(|s| {
+            let ha = s.spawn(a);
+            let rb = b();
+            (ha.join().expect("rayon::join closure panicked"), rb)
+        })
+    }
+}
+
+/// Error building a thread pool (never produced by this facade).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a scoped-thread-count "pool".
+#[derive(Default, Debug)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "use the default" (rayon convention).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle that scopes the effective thread count; workers are spawned
+/// per operation rather than held persistently.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Threads operations inside [`install`](Self::install) will use.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads)
+    }
+
+    /// Run `op` with this pool's thread count in effect (on the calling
+    /// thread — parallel ops inside pick up the override).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let effective = self.current_num_threads();
+        let prev = THREAD_OVERRIDE.with(|o| o.replace(Some(effective)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.with(|o| o.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_and_sum() {
+        let total: usize = (0..1000usize).collect::<Vec<_>>().into_par_iter().sum();
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        // Override is gone after install returns.
+        let outside = current_num_threads();
+        assert!(outside >= 1);
+        let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let v: Vec<u32> = single.install(|| (0..100u32).into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(v[99], 100);
+    }
+
+    #[test]
+    fn filter_map_enumerate_reduce() {
+        let v: Vec<usize> = (0..100).collect();
+        let odd_doubles: Vec<usize> = v
+            .par_iter()
+            .filter_map(|&x| if x % 2 == 1 { Some(x * 2) } else { None })
+            .collect();
+        assert_eq!(odd_doubles.len(), 50);
+        let max = v
+            .clone()
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, x)| i + x)
+            .reduce(|| 0, usize::max);
+        assert_eq!(max, 198);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let v: Vec<u64> = (0..5000).collect();
+        let mut outputs = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let out: Vec<u64> =
+                pool.install(|| v.par_iter().map(|&x| x.wrapping_mul(2654435761)).collect());
+            outputs.push(out);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline serde facade.
+//!
+//! Exposes `Serialize` / `Deserialize` as blanket-implemented marker
+//! traits and re-exports the no-op derives from `serde_derive`. This keeps
+//! every `#[derive(Serialize, Deserialize)]` and `T: Serialize` bound in
+//! the workspace compiling without any real serialization framework —
+//! durable persistence is handled by `congress::snapshot`'s hand-rolled
+//! binary format instead.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait satisfied by every type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, blanket-implemented like the real one.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace annotates types with serde derives for forward
+//! compatibility, but nothing actually serializes through serde (binary
+//! persistence goes through `congress::snapshot`). With no registry
+//! access, the real `serde_derive` cannot be fetched, so these derives
+//! expand to nothing while still accepting `#[serde(...)]` attributes.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
