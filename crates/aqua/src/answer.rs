@@ -22,6 +22,20 @@ pub struct GroupBounds {
     pub bounds: Vec<Option<ErrorBound>>,
 }
 
+/// How an answer was produced, so callers can tell a genuine synopsis
+/// estimate from a degraded-mode exact scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnswerProvenance {
+    /// The normal path: estimated from the congressional synopsis.
+    Sampled,
+    /// Degraded mode: the synopsis was unavailable (e.g. quarantined after
+    /// corruption) and the answer is an exact scan of the base relation.
+    ExactFallback {
+        /// Why the synopsis path was bypassed.
+        reason: String,
+    },
+}
+
 /// An approximate answer: scaled estimates plus bounds at the configured
 /// confidence — the shape of the paper's Figure 4 output.
 #[derive(Debug, Clone)]
@@ -32,6 +46,8 @@ pub struct ApproximateAnswer {
     pub bounds: Vec<GroupBounds>,
     /// Confidence level the bounds hold at.
     pub confidence: f64,
+    /// Which path produced the answer.
+    pub provenance: AnswerProvenance,
 }
 
 impl ApproximateAnswer {
@@ -39,10 +55,19 @@ impl ApproximateAnswer {
     pub fn bounds_for(&self, key: &GroupKey) -> Option<&GroupBounds> {
         self.bounds.iter().find(|b| &b.key == key)
     }
+
+    /// `true` when the answer came from an exact scan rather than the
+    /// synopsis (degraded mode).
+    pub fn is_degraded(&self) -> bool {
+        matches!(self.provenance, AnswerProvenance::ExactFallback { .. })
+    }
 }
 
 impl fmt::Display for ApproximateAnswer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let AnswerProvenance::ExactFallback { reason } = &self.provenance {
+            writeln!(f, "[degraded: exact scan — {reason}]")?;
+        }
         writeln!(
             f,
             "group | {} (±bound @ {:.0}% confidence)",
@@ -308,11 +333,31 @@ mod tests {
             result,
             bounds,
             confidence: 0.9,
+            provenance: AnswerProvenance::Sampled,
         };
         let s = ans.to_string();
         assert!(s.contains('±') && s.contains("90%"));
+        assert!(!s.contains("degraded") && !ans.is_degraded());
         assert!(ans
             .bounds_for(&GroupKey::new(vec![Value::str("big")]))
             .is_some());
+    }
+
+    #[test]
+    fn display_flags_degraded_answers() {
+        let (input, q) = fixture();
+        let plan = Integrated::build(&input).unwrap();
+        let result = plan.execute(&q).unwrap();
+        let ans = ApproximateAnswer {
+            result,
+            bounds: Vec::new(),
+            confidence: 1.0,
+            provenance: AnswerProvenance::ExactFallback {
+                reason: "synopsis quarantined".into(),
+            },
+        };
+        assert!(ans.is_degraded());
+        let s = ans.to_string();
+        assert!(s.contains("degraded") && s.contains("synopsis quarantined"));
     }
 }

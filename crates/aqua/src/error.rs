@@ -16,6 +16,9 @@ pub enum AquaError {
     Congress(congress::CongressError),
     /// Configuration rejected.
     InvalidConfig(String),
+    /// Durable storage failure (snapshot store I/O, manifest corruption,
+    /// failed recovery).
+    Storage(String),
 }
 
 impl fmt::Display for AquaError {
@@ -25,6 +28,7 @@ impl fmt::Display for AquaError {
             AquaError::Engine(e) => write!(f, "engine error: {e}"),
             AquaError::Congress(e) => write!(f, "sampling error: {e}"),
             AquaError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            AquaError::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }
@@ -35,8 +39,14 @@ impl std::error::Error for AquaError {
             AquaError::Relation(e) => Some(e),
             AquaError::Engine(e) => Some(e),
             AquaError::Congress(e) => Some(e),
-            AquaError::InvalidConfig(_) => None,
+            AquaError::InvalidConfig(_) | AquaError::Storage(_) => None,
         }
+    }
+}
+
+impl From<congress::StoreError> for AquaError {
+    fn from(e: congress::StoreError) -> Self {
+        AquaError::Storage(e.to_string())
     }
 }
 

@@ -47,13 +47,17 @@
 pub mod answer;
 pub mod config;
 pub mod error;
+pub mod manifest;
 pub mod synopsis;
 pub mod system;
 pub mod warehouse;
 
-pub use answer::{ApproximateAnswer, GroupBounds};
+pub use answer::{AnswerProvenance, ApproximateAnswer, GroupBounds};
 pub use config::{AquaConfig, RewriteChoice, SamplingStrategy};
 pub use error::{AquaError, Result};
+pub use manifest::{Manifest, ManifestEntry};
 pub use synopsis::Synopsis;
 pub use system::Aqua;
-pub use warehouse::Warehouse;
+pub use warehouse::{
+    OpenReport, RecoveryPolicy, RelationReport, RelationStatus, SaveReport, VerifyReport, Warehouse,
+};

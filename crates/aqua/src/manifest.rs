@@ -1,0 +1,332 @@
+//! The warehouse manifest: a small, checksummed text file that is the
+//! single commit point for [`crate::Warehouse::save_all`].
+//!
+//! The manifest lists, per relation, the store keys of the base-table
+//! encoding, the synopsis snapshot, and the pending-insert write-ahead
+//! log, together with the expected length and CRC32C of each blob and the
+//! full synopsis configuration. Because the manifest itself is written
+//! with an atomic `put`, a crash during a save leaves the previous
+//! manifest (and its generation's files, which are only deleted *after*
+//! the new manifest lands) fully intact: recovery always sees a complete
+//! generation, old or new.
+//!
+//! Format (line-oriented text, `\n`-terminated, trailing checksum line):
+//!
+//! ```text
+//! aqua-warehouse v1
+//! generation=3
+//! begin-relation
+//! name=<percent-escaped relation name>
+//! dir=<store key prefix>
+//! grouping=0,2
+//! config=space=...;strategy=...;...
+//! table=<key>|<len>|<crc32c hex>
+//! snapshot=<key>|<len>|<crc32c hex>        (or `snapshot=-` if degraded)
+//! wal=<key>
+//! end-relation
+//! checksum=<crc32c hex of every preceding byte>
+//! ```
+
+use congress::crc32c;
+
+use crate::config::AquaConfig;
+use crate::error::{AquaError, Result};
+
+/// Store key of the warehouse manifest.
+pub const MANIFEST_KEY: &str = "MANIFEST";
+
+/// Store key prefix corrupt blobs are renamed under.
+pub const QUARANTINE_PREFIX: &str = "quarantine";
+
+const HEADER: &str = "aqua-warehouse v1";
+
+/// A reference to one immutable blob in the store, with its expected size
+/// and checksum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileRef {
+    /// Store key.
+    pub key: String,
+    /// Expected length in bytes.
+    pub len: u64,
+    /// Expected CRC32C of the full contents.
+    pub crc: u32,
+}
+
+/// One relation's persistent state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestEntry {
+    /// Relation name as registered (arbitrary UTF-8).
+    pub name: String,
+    /// Store key prefix all of this relation's blobs live under.
+    pub dir: String,
+    /// Grouping column indices declared at registration.
+    pub grouping: Vec<usize>,
+    /// Synopsis configuration.
+    pub config: AquaConfig,
+    /// Binary base-table encoding.
+    pub table: FileRef,
+    /// Synopsis snapshot; `None` when the relation was saved in degraded
+    /// mode (no synopsis existed).
+    pub snapshot: Option<FileRef>,
+    /// Write-ahead-log key for inserts after this save (the blob may not
+    /// exist yet; it is created on first logged insert).
+    pub wal: String,
+}
+
+/// The parsed manifest: a generation number plus one entry per relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Save generation this manifest commits (monotonically increasing).
+    pub generation: u64,
+    /// Per-relation state, in saved order (sorted by name).
+    pub entries: Vec<ManifestEntry>,
+}
+
+fn corrupt(m: impl Into<String>) -> AquaError {
+    AquaError::Storage(format!("corrupt manifest: {}", m.into()))
+}
+
+/// Percent-escape a relation name so it survives the line-oriented format
+/// (`%`, control characters, and anything non-ASCII-printable).
+fn escape_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for b in name.bytes() {
+        if (b' '..=b'~').contains(&b) && b != b'%' {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02x}"));
+        }
+    }
+    out
+}
+
+fn unescape_name(escaped: &str) -> Result<String> {
+    let mut bytes = Vec::with_capacity(escaped.len());
+    let mut it = escaped.bytes();
+    while let Some(b) = it.next() {
+        if b == b'%' {
+            let hi = it.next().ok_or_else(|| corrupt("truncated name escape"))?;
+            let lo = it.next().ok_or_else(|| corrupt("truncated name escape"))?;
+            let hex = [hi, lo];
+            let hex = std::str::from_utf8(&hex).map_err(|_| corrupt("bad name escape"))?;
+            bytes.push(u8::from_str_radix(hex, 16).map_err(|_| corrupt("bad name escape"))?);
+        } else {
+            bytes.push(b);
+        }
+    }
+    String::from_utf8(bytes).map_err(|_| corrupt("name is not UTF-8"))
+}
+
+fn encode_fileref(f: &FileRef) -> String {
+    format!("{}|{}|{:08x}", f.key, f.len, f.crc)
+}
+
+fn parse_fileref(s: &str) -> Result<FileRef> {
+    let mut parts = s.rsplitn(3, '|');
+    let crc = parts.next().ok_or_else(|| corrupt("bad file ref"))?;
+    let len = parts.next().ok_or_else(|| corrupt("bad file ref"))?;
+    let key = parts.next().ok_or_else(|| corrupt("bad file ref"))?;
+    Ok(FileRef {
+        key: key.to_string(),
+        len: len.parse().map_err(|_| corrupt("bad file length"))?,
+        crc: u32::from_str_radix(crc, 16).map_err(|_| corrupt("bad file crc"))?,
+    })
+}
+
+impl Manifest {
+    /// Render the manifest, ending with its own checksum line.
+    pub fn encode(&self) -> String {
+        let mut body = String::new();
+        body.push_str(HEADER);
+        body.push('\n');
+        body.push_str(&format!("generation={}\n", self.generation));
+        for e in &self.entries {
+            body.push_str("begin-relation\n");
+            body.push_str(&format!("name={}\n", escape_name(&e.name)));
+            body.push_str(&format!("dir={}\n", e.dir));
+            let grouping: Vec<String> = e.grouping.iter().map(|g| g.to_string()).collect();
+            body.push_str(&format!("grouping={}\n", grouping.join(",")));
+            body.push_str(&format!("config={}\n", e.config.to_manifest_line()));
+            body.push_str(&format!("table={}\n", encode_fileref(&e.table)));
+            match &e.snapshot {
+                Some(s) => body.push_str(&format!("snapshot={}\n", encode_fileref(s))),
+                None => body.push_str("snapshot=-\n"),
+            }
+            body.push_str(&format!("wal={}\n", e.wal));
+            body.push_str("end-relation\n");
+        }
+        let crc = crc32c(body.as_bytes());
+        body.push_str(&format!("checksum={crc:08x}\n"));
+        body
+    }
+
+    /// Parse and checksum-verify a manifest. Any deviation — bad UTF-8,
+    /// checksum mismatch, unknown or missing fields — is an error, never a
+    /// partial result.
+    pub fn parse(bytes: &[u8]) -> Result<Manifest> {
+        let text = std::str::from_utf8(bytes).map_err(|_| corrupt("not UTF-8"))?;
+        let idx = text
+            .rfind("checksum=")
+            .ok_or_else(|| corrupt("missing checksum line"))?;
+        if idx != 0 && text.as_bytes()[idx - 1] != b'\n' {
+            return Err(corrupt("misplaced checksum line"));
+        }
+        let (body, tail) = text.split_at(idx);
+        let hex = tail
+            .strip_prefix("checksum=")
+            .and_then(|s| s.strip_suffix('\n'))
+            .ok_or_else(|| corrupt("malformed checksum line"))?;
+        let expect = u32::from_str_radix(hex, 16).map_err(|_| corrupt("bad checksum value"))?;
+        let actual = crc32c(body.as_bytes());
+        if actual != expect {
+            return Err(corrupt(format!(
+                "checksum mismatch: stored {expect:08x}, computed {actual:08x}"
+            )));
+        }
+
+        let mut lines = body.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(corrupt("bad header"));
+        }
+        let gen_line = lines.next().ok_or_else(|| corrupt("missing generation"))?;
+        let generation = gen_line
+            .strip_prefix("generation=")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| corrupt("bad generation line"))?;
+
+        let mut entries = Vec::new();
+        while let Some(line) = lines.next() {
+            if line != "begin-relation" {
+                return Err(corrupt(format!("expected begin-relation, got `{line}`")));
+            }
+            let mut field = |prefix: &str| -> Result<String> {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| corrupt("truncated relation block"))?;
+                line.strip_prefix(prefix)
+                    .map(str::to_string)
+                    .ok_or_else(|| corrupt(format!("expected `{prefix}...`, got `{line}`")))
+            };
+            let name = unescape_name(&field("name=")?)?;
+            let dir = field("dir=")?;
+            let grouping_raw = field("grouping=")?;
+            let grouping = if grouping_raw.is_empty() {
+                Vec::new()
+            } else {
+                grouping_raw
+                    .split(',')
+                    .map(|g| g.parse().map_err(|_| corrupt("bad grouping index")))
+                    .collect::<Result<Vec<usize>>>()?
+            };
+            let config = AquaConfig::from_manifest_line(&field("config=")?)?;
+            let table = parse_fileref(&field("table=")?)?;
+            let snapshot_raw = field("snapshot=")?;
+            let snapshot = if snapshot_raw == "-" {
+                None
+            } else {
+                Some(parse_fileref(&snapshot_raw)?)
+            };
+            let wal = field("wal=")?;
+            if lines.next() != Some("end-relation") {
+                return Err(corrupt("missing end-relation"));
+            }
+            entries.push(ManifestEntry {
+                name,
+                dir,
+                grouping,
+                config,
+                table,
+                snapshot,
+                wal,
+            });
+        }
+        Ok(Manifest {
+            generation,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            generation: 7,
+            entries: vec![
+                ManifestEntry {
+                    name: "sales 2024\n%odd".into(),
+                    dir: "rel-sales_2024-deadbeef".into(),
+                    grouping: vec![0, 2],
+                    config: AquaConfig::default(),
+                    table: FileRef {
+                        key: "rel-sales/table.g7.bin".into(),
+                        len: 1234,
+                        crc: 0xDEAD_BEEF,
+                    },
+                    snapshot: Some(FileRef {
+                        key: "rel-sales/synopsis.g7.bin".into(),
+                        len: 99,
+                        crc: 1,
+                    }),
+                    wal: "rel-sales/wal.g7.log".into(),
+                },
+                ManifestEntry {
+                    name: "tiny".into(),
+                    dir: "rel-tiny-0".into(),
+                    grouping: vec![],
+                    config: AquaConfig {
+                        space: 5,
+                        ..AquaConfig::default()
+                    },
+                    table: FileRef {
+                        key: "rel-tiny/table.g7.bin".into(),
+                        len: 0,
+                        crc: 0,
+                    },
+                    snapshot: None,
+                    wal: "rel-tiny/wal.g7.log".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let m = sample();
+        let text = m.encode();
+        assert_eq!(Manifest::parse(text.as_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let text = sample().encode().into_bytes();
+        for i in 0..text.len() {
+            let mut bad = text.clone();
+            bad[i] ^= 1;
+            assert!(
+                Manifest::parse(&bad).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_detected() {
+        let text = sample().encode().into_bytes();
+        for i in 0..text.len() {
+            assert!(
+                Manifest::parse(&text[..i]).is_err(),
+                "truncation to {i} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn name_escaping_survives_hostile_names() {
+        for name in ["a\nb", "x%20y", "naïve", "", "end-relation"] {
+            assert_eq!(unescape_name(&escape_name(name)).unwrap(), name);
+        }
+    }
+}

@@ -5,7 +5,7 @@ use parking_lot::RwLock;
 use engine::{execute_exact, GroupByQuery, QueryResult};
 use relation::{ColumnId, Relation, Value};
 
-use crate::answer::{compute_bounds, ApproximateAnswer};
+use crate::answer::{compute_bounds, AnswerProvenance, ApproximateAnswer};
 use crate::config::AquaConfig;
 use crate::error::{AquaError, Result};
 use crate::synopsis::Synopsis;
@@ -63,6 +63,17 @@ impl Aqua {
         self.inner.read().grouping.clone()
     }
 
+    /// The active configuration (needed to persist and rebuild the system).
+    pub fn config(&self) -> AquaConfig {
+        *self.inner.read().synopsis.config()
+    }
+
+    /// A snapshot of the stored table (cheap: columns are copied, but
+    /// string dictionaries are shared `Arc`s under the hood).
+    pub fn table_snapshot(&self) -> Relation {
+        self.inner.read().table.clone()
+    }
+
     /// Rows currently stored in the warehouse table.
     pub fn table_rows(&self) -> usize {
         self.inner.read().table.row_count()
@@ -93,6 +104,7 @@ impl Aqua {
             result,
             bounds,
             confidence,
+            provenance: AnswerProvenance::Sampled,
         })
     }
 

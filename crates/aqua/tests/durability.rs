@@ -1,0 +1,372 @@
+//! Crash-safety and corruption-recovery sweeps over the warehouse
+//! persistence subsystem, driven by deterministic fault injection.
+
+use aqua::{
+    AnswerProvenance, AquaConfig, RecoveryPolicy, RelationStatus, SamplingStrategy, Warehouse,
+};
+use congress::{Fault, FaultyStore, MemStore, SnapshotStore};
+use engine::{AggregateSpec, GroupByQuery};
+use relation::{ColumnId, DataType, GroupKey, Relation, RelationBuilder, Value};
+
+fn sales(n: i64) -> Relation {
+    let mut b = RelationBuilder::new()
+        .column("region", DataType::Str)
+        .column("amount", DataType::Float);
+    for i in 0..n {
+        b.push_row(&[
+            Value::str(if i % 4 == 0 { "east" } else { "west" }),
+            Value::from((i % 50) as f64),
+        ])
+        .unwrap();
+    }
+    b.finish()
+}
+
+fn returns(n: i64) -> Relation {
+    let mut b = RelationBuilder::new()
+        .column("reason", DataType::Str)
+        .column("qty", DataType::Int);
+    for i in 0..n {
+        b.push_row(&[
+            Value::str(if i % 5 == 0 { "damaged" } else { "unwanted" }),
+            Value::Int(1 + i % 3),
+        ])
+        .unwrap();
+    }
+    b.finish()
+}
+
+fn config() -> AquaConfig {
+    AquaConfig {
+        space: 60,
+        strategy: SamplingStrategy::Congress,
+        seed: 7,
+        ..AquaConfig::default()
+    }
+}
+
+fn count_query() -> GroupByQuery {
+    GroupByQuery::new(vec![ColumnId(0)], vec![AggregateSpec::count("c")])
+}
+
+/// Build a two-relation warehouse, save it to `store` (generation 1), and
+/// durably log one extra insert so a WAL exists.
+fn seeded_warehouse(store: &MemStore) -> (Warehouse, f64) {
+    let w = Warehouse::new();
+    let t = sales(400);
+    let grouping = t.schema().column_ids(&["region"]).unwrap();
+    w.register("sales", t, grouping, config()).unwrap();
+    let r = returns(200);
+    let grouping = r.schema().column_ids(&["reason"]).unwrap();
+    w.register("returns", r, grouping, config()).unwrap();
+    w.save_all(store).unwrap();
+    w.insert_logged(
+        store,
+        "sales",
+        &[vec![Value::str("east"), Value::from(1.0)]],
+    )
+    .unwrap();
+    let exact = w.exact("sales", &count_query()).unwrap();
+    let total: f64 = exact.iter().map(|(_, v)| v[0]).sum();
+    (w, total)
+}
+
+fn exact_total(w: &Warehouse, name: &str) -> f64 {
+    w.exact(name, &count_query())
+        .unwrap()
+        .iter()
+        .map(|(_, v)| v[0])
+        .sum()
+}
+
+fn copy_store(src: &MemStore) -> MemStore {
+    let dst = MemStore::new();
+    for key in src.list().unwrap() {
+        dst.put(&key, &src.get(&key).unwrap()).unwrap();
+    }
+    dst
+}
+
+/// The acceptance sweep: inject a clean failure at *every* store
+/// operation index during `save_all`. Whatever the failure point, the
+/// on-store warehouse must be fully the old generation or fully the new
+/// one: `open` always succeeds, every relation comes back healthy, and no
+/// row — including the WAL-logged insert — is lost.
+#[test]
+fn kill_the_writer_at_every_op() {
+    // Dry run to learn how many store ops a save issues.
+    let store = MemStore::new();
+    let (w, expected_rows) = seeded_warehouse(&store);
+    let probe = FaultyStore::new(copy_store(&store), Fault::FailAt { op: u64::MAX });
+    w.save_all(&probe).unwrap();
+    let total_ops = probe.ops();
+    assert!(total_ops >= 5, "save of 2 relations must take several ops");
+
+    for fail_at in 0..total_ops {
+        let store = MemStore::new();
+        let (w, expected_rows) = seeded_warehouse(&store);
+        let faulty = FaultyStore::new(store, Fault::FailAt { op: fail_at });
+        let _ = w.save_all(&faulty); // may or may not error; disk state is what matters
+        let disk = faulty.into_inner();
+
+        let (recovered, report) = Warehouse::open(&disk, RecoveryPolicy::Rebuild)
+            .unwrap_or_else(|e| panic!("open failed after crash at op {fail_at}: {e}"));
+        assert!(
+            report.generation == 1 || report.generation == 2,
+            "crash at op {fail_at}: generation {}",
+            report.generation
+        );
+        for r in &report.relations {
+            assert_eq!(
+                r.status,
+                RelationStatus::Healthy,
+                "crash at op {fail_at}: relation {} not healthy: {:?}",
+                r.name,
+                r.status
+            );
+            assert_eq!(r.wal_bytes_dropped, 0, "crash at op {fail_at}");
+        }
+        assert_eq!(
+            exact_total(&recovered, "sales"),
+            expected_rows,
+            "crash at op {fail_at} lost rows"
+        );
+        let ans = recovered.answer("sales", &count_query()).unwrap();
+        assert!(!ans.is_degraded(), "crash at op {fail_at}");
+    }
+    let _ = expected_rows;
+}
+
+/// Flip a bit at many offsets of the synopsis blob. Every corruption must
+/// be detected at open; under `Degrade` the relation serves exact answers
+/// with `ExactFallback` provenance and the bad blob lands in quarantine,
+/// under `Rebuild` it comes back sampled.
+#[test]
+fn bit_flip_in_snapshot_quarantines_and_recovers() {
+    let pristine = MemStore::new();
+    let (w, expected_rows) = seeded_warehouse(&pristine);
+    let _ = &w;
+    let snap_key = pristine
+        .list()
+        .unwrap()
+        .into_iter()
+        .find(|k| k.contains("rel-sales") && k.contains("synopsis"))
+        .unwrap();
+    let snap = pristine.get(&snap_key).unwrap();
+
+    let offsets: Vec<usize> = (0..snap.len())
+        .step_by(13)
+        .chain([snap.len() - 1])
+        .collect();
+    for &off in &offsets {
+        let store = copy_store(&pristine);
+        let mut bad = snap.clone();
+        bad[off] ^= 0x10;
+        store.put(&snap_key, &bad).unwrap();
+
+        let (w2, report) = Warehouse::open(&store, RecoveryPolicy::Degrade).unwrap();
+        let sales_report = report.relations.iter().find(|r| r.name == "sales").unwrap();
+        assert!(
+            matches!(sales_report.status, RelationStatus::Degraded { .. }),
+            "flip at byte {off}: {:?}",
+            sales_report.status
+        );
+        // The corrupt blob was quarantined, not left in place.
+        assert!(!store.exists(&snap_key).unwrap(), "flip at byte {off}");
+        assert!(store.exists(&format!("quarantine/{snap_key}")).unwrap());
+        // Degraded answers are exact and say so.
+        let ans = w2.answer("sales", &count_query()).unwrap();
+        assert!(
+            matches!(ans.provenance, AnswerProvenance::ExactFallback { .. }),
+            "flip at byte {off}"
+        );
+        let total: f64 = ans.result.iter().map(|(_, v)| v[0]).sum();
+        assert_eq!(total, expected_rows, "flip at byte {off}");
+        assert_eq!(w2.degraded_relations().len(), 1);
+        // The healthy relation is unaffected.
+        assert!(!w2.answer("returns", &count_query()).unwrap().is_degraded());
+    }
+
+    // Same corruption under Rebuild: full service restored from the table.
+    let store = copy_store(&pristine);
+    let mut bad = snap.clone();
+    bad[snap.len() / 2] ^= 0x01;
+    store.put(&snap_key, &bad).unwrap();
+    let (w2, report) = Warehouse::open(&store, RecoveryPolicy::Rebuild).unwrap();
+    let sales_report = report.relations.iter().find(|r| r.name == "sales").unwrap();
+    assert!(matches!(
+        sales_report.status,
+        RelationStatus::Rebuilt {
+            quarantined: Some(_)
+        }
+    ));
+    let ans = w2.answer("sales", &count_query()).unwrap();
+    assert!(!ans.is_degraded());
+    assert!(w2.system("sales").is_ok());
+}
+
+/// A corrupt *base table* cannot be recovered from this store: the
+/// relation is reported lost (and quarantined), while the rest of the
+/// warehouse still opens.
+#[test]
+fn corrupt_table_is_lost_but_warehouse_opens() {
+    let store = MemStore::new();
+    let (_w, _) = seeded_warehouse(&store);
+    let table_key = store
+        .list()
+        .unwrap()
+        .into_iter()
+        .find(|k| k.contains("rel-returns") && k.contains("table"))
+        .unwrap();
+    let mut bytes = store.get(&table_key).unwrap();
+    bytes[7] ^= 0xFF;
+    store.put(&table_key, &bytes).unwrap();
+
+    let (w2, report) = Warehouse::open(&store, RecoveryPolicy::Rebuild).unwrap();
+    let lost = report
+        .relations
+        .iter()
+        .find(|r| r.name == "returns")
+        .unwrap();
+    assert!(matches!(lost.status, RelationStatus::Lost { .. }));
+    assert!(store.exists(&format!("quarantine/{table_key}")).unwrap());
+    assert!(w2.answer("returns", &count_query()).is_err());
+    assert!(w2.answer("sales", &count_query()).is_ok());
+}
+
+/// A torn manifest write (non-atomic store) is detected — open refuses
+/// loudly instead of serving a half-written catalog.
+#[test]
+fn torn_manifest_is_detected() {
+    let store = MemStore::new();
+    let (w, _) = seeded_warehouse(&store);
+    // Manifest is the last put of save_all: relations sorted -> returns
+    // (table, synopsis), sales (table, synopsis), manifest = op 4.
+    let faulty = FaultyStore::new(store, Fault::TruncateAt { op: 4, keep: 40 });
+    w.save_all(&faulty).unwrap(); // torn write reports success
+    assert!(faulty.fired(), "fault must have hit the manifest put");
+    let disk = faulty.into_inner();
+    let err = match Warehouse::open(&disk, RecoveryPolicy::Rebuild) {
+        Err(e) => e,
+        Ok(_) => panic!("open must reject a torn manifest"),
+    };
+    assert!(err.to_string().contains("manifest"), "{err}");
+}
+
+/// Running out of space mid-save fails cleanly and leaves the previous
+/// generation fully intact.
+#[test]
+fn enospc_leaves_old_generation_intact() {
+    let store = MemStore::new();
+    let (w, expected_rows) = seeded_warehouse(&store);
+    let faulty = FaultyStore::new(store, Fault::Enospc { byte_budget: 512 });
+    assert!(w.save_all(&faulty).is_err());
+    let disk = faulty.into_inner();
+    let (w2, report) = Warehouse::open(&disk, RecoveryPolicy::Rebuild).unwrap();
+    assert_eq!(report.generation, 1);
+    assert_eq!(exact_total(&w2, "sales"), expected_rows);
+}
+
+/// A torn WAL tail is dropped and truncated in-store; intact records
+/// before the tear still replay.
+#[test]
+fn torn_wal_tail_is_truncated() {
+    let store = MemStore::new();
+    let (w, expected_rows) = seeded_warehouse(&store);
+    w.insert_logged(
+        &store,
+        "sales",
+        &[vec![Value::str("west"), Value::from(2.0)]],
+    )
+    .unwrap();
+    let wal_key = store
+        .list()
+        .unwrap()
+        .into_iter()
+        .find(|k| k.contains("rel-sales") && k.contains("wal"))
+        .unwrap();
+    let wal = store.get(&wal_key).unwrap();
+    // Tear off the last 3 bytes (mid-record) — models a crash mid-append.
+    store.put(&wal_key, &wal[..wal.len() - 3]).unwrap();
+
+    let (w2, report) = Warehouse::open(&store, RecoveryPolicy::Rebuild).unwrap();
+    let sales_report = report.relations.iter().find(|r| r.name == "sales").unwrap();
+    assert_eq!(sales_report.wal_records_replayed, 1);
+    assert!(sales_report.wal_bytes_dropped > 0);
+    // First logged insert survives; the torn second one is gone.
+    assert_eq!(exact_total(&w2, "sales"), expected_rows);
+    // The tail was physically truncated: a later open sees a clean WAL.
+    let (_, report) = Warehouse::open(&store, RecoveryPolicy::Rebuild).unwrap();
+    let sales_report = report.relations.iter().find(|r| r.name == "sales").unwrap();
+    assert_eq!(sales_report.wal_bytes_dropped, 0);
+}
+
+/// `repair` after corruption writes a fresh, fully verifiable generation
+/// and restores sampled service.
+#[test]
+fn repair_restores_full_service() {
+    let store = MemStore::new();
+    let (_w, expected_rows) = seeded_warehouse(&store);
+    let snap_key = store
+        .list()
+        .unwrap()
+        .into_iter()
+        .find(|k| k.contains("rel-sales") && k.contains("synopsis"))
+        .unwrap();
+    let mut bytes = store.get(&snap_key).unwrap();
+    bytes[3] ^= 0x02;
+    store.put(&snap_key, &bytes).unwrap();
+    assert!(!Warehouse::verify(&store).unwrap().ok);
+
+    let (w2, open_report, save_report) =
+        Warehouse::repair(&store, RecoveryPolicy::Rebuild).unwrap();
+    assert!(open_report
+        .relations
+        .iter()
+        .any(|r| matches!(r.status, RelationStatus::Rebuilt { .. })));
+    assert_eq!(save_report.generation, 2);
+    let verify = Warehouse::verify(&store).unwrap();
+    assert!(verify.ok, "{:?}", verify.lines);
+    let ans = w2.answer("sales", &count_query()).unwrap();
+    assert!(!ans.is_degraded());
+    assert_eq!(exact_total(&w2, "sales"), expected_rows);
+}
+
+/// Degraded relations keep accepting inserts and serving exact group-bys.
+#[test]
+fn degraded_mode_still_serves_and_grows() {
+    let store = MemStore::new();
+    let (_w, expected_rows) = seeded_warehouse(&store);
+    let snap_key = store
+        .list()
+        .unwrap()
+        .into_iter()
+        .find(|k| k.contains("rel-sales") && k.contains("synopsis"))
+        .unwrap();
+    store.delete(&snap_key).unwrap();
+
+    let (w2, _) = Warehouse::open(&store, RecoveryPolicy::Degrade).unwrap();
+    assert_eq!(w2.degraded_relations().len(), 1);
+    w2.insert("sales", &[vec![Value::str("north"), Value::from(9.0)]])
+        .unwrap();
+    let ans = w2.answer("sales", &count_query()).unwrap();
+    assert!(ans.is_degraded());
+    assert!(ans.to_string().contains("degraded"));
+    let north = ans
+        .result
+        .get(&GroupKey::new(vec![Value::str("north")]))
+        .unwrap();
+    assert_eq!(north[0], 1.0);
+    let total: f64 = ans.result.iter().map(|(_, v)| v[0]).sum();
+    assert_eq!(total, expected_rows + 1.0);
+    // Saving a degraded warehouse records `snapshot=-`; reopening under
+    // Rebuild restores sampled service from the saved table.
+    w2.save_all(&store).unwrap();
+    let (w3, report) = Warehouse::open(&store, RecoveryPolicy::Rebuild).unwrap();
+    assert!(report
+        .relations
+        .iter()
+        .any(|r| r.status == RelationStatus::Rebuilt { quarantined: None }));
+    assert!(!w3.answer("sales", &count_query()).unwrap().is_degraded());
+    assert_eq!(exact_total(&w3, "sales"), expected_rows + 1.0);
+}

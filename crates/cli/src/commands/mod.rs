@@ -5,11 +5,13 @@ mod inspect;
 mod plan;
 mod query;
 mod sample;
+mod warehouse;
 
 pub use inspect::inspect;
 pub use plan::plan;
 pub use query::query;
 pub use sample::sample;
+pub use warehouse::warehouse;
 
 use crate::args::Args;
 use crate::Result;
@@ -21,9 +23,10 @@ pub fn run(args: &Args) -> Result<String> {
         "plan" => plan(args),
         "query" => query(args),
         "sample" => sample(args),
+        "warehouse" => warehouse(args),
         "" | "help" => Ok(crate::USAGE.to_string()),
         other => Err(format!(
-            "unknown command `{other}` (inspect|plan|query|sample)\n\n{}",
+            "unknown command `{other}` (inspect|plan|query|sample|warehouse)\n\n{}",
             crate::USAGE
         )),
     }

@@ -50,7 +50,21 @@ pub fn sample(args: &Args) -> Result<String> {
         })
         .map_err(err)?;
     let bytes = snapshot::encode(&sample);
-    std::fs::write(&out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    // Crash-safe write: temp file + fsync + rename via the snapshot store,
+    // so a kill mid-write can never leave a torn snapshot at --out.
+    let path = std::path::Path::new(&out_path);
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => std::path::Path::new("."),
+    };
+    let file = path
+        .file_name()
+        .and_then(|f| f.to_str())
+        .ok_or_else(|| format!("--out `{out_path}` has no file name"))?;
+    let fs_store = congress::FsStore::open(parent)
+        .map_err(|e| format!("cannot open output directory: {e}"))?;
+    congress::SnapshotStore::put(&fs_store, file, &bytes)
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
 
     let mut out = String::new();
     let _ = writeln!(

@@ -1,0 +1,268 @@
+//! `warehouse`: durable, crash-safe persistence of a warehouse — save a
+//! synopsis-backed relation to a directory, and open/verify/repair it.
+
+use std::fmt::Write as _;
+
+use aqua::{
+    AquaConfig, OpenReport, RecoveryPolicy, RelationStatus, SaveReport, VerifyReport, Warehouse,
+};
+use congress::FsStore;
+
+use crate::args::Args;
+use crate::data::{load, rewrite, strategy};
+use crate::{err, Result};
+
+/// Dispatch `warehouse <save|open|verify|repair>`.
+///
+/// * `save` — load the data source, build a congressional synopsis, and
+///   persist table + synopsis + manifest to `--dir` (atomic commit).
+/// * `open` — recover a saved warehouse, verifying every checksum;
+///   corrupt synopses are quarantined and rebuilt (default) or served
+///   degraded (`--degrade`).
+/// * `verify` — read-only integrity check of every blob and WAL.
+/// * `repair` — open with recovery, then re-save a fresh generation.
+pub fn warehouse(args: &Args) -> Result<String> {
+    let action = args
+        .positional()
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| "warehouse requires an action: save|open|verify|repair".to_string())?;
+    let dir = args.require("dir")?;
+    let store = FsStore::open(dir).map_err(err)?;
+    let policy = if args.has("degrade") {
+        RecoveryPolicy::Degrade
+    } else {
+        RecoveryPolicy::Rebuild
+    };
+    match action {
+        "save" => save(args, &store),
+        "open" => {
+            let (w, report) = Warehouse::open(&store, policy).map_err(err)?;
+            Ok(render_open(&w, &report))
+        }
+        "verify" => {
+            let report = Warehouse::verify(&store).map_err(err)?;
+            Ok(render_verify(&report))
+        }
+        "repair" => {
+            let (w, open_report, save_report) = Warehouse::repair(&store, policy).map_err(err)?;
+            let mut out = render_open(&w, &open_report);
+            let _ = writeln!(
+                out,
+                "repaired: generation {} committed ({} files, {} bytes)",
+                save_report.generation, save_report.files_written, save_report.bytes_written
+            );
+            Ok(out)
+        }
+        other => Err(format!(
+            "unknown warehouse action `{other}` (save|open|verify|repair)"
+        )),
+    }
+}
+
+fn save(args: &Args, store: &FsStore) -> Result<String> {
+    let source = load(args)?;
+    let space: usize = args.get_parsed("space", 0usize)?;
+    if space == 0 {
+        return Err("warehouse save requires --space <tuples>".into());
+    }
+    let config = AquaConfig {
+        space,
+        strategy: strategy(args)?,
+        rewrite: rewrite(args)?,
+        seed: args.get_parsed("seed", 0u64)?,
+        parallelism: args.get_parsed("parallelism", 0usize)?,
+        ..AquaConfig::default()
+    };
+    let w = Warehouse::new();
+    w.register(
+        source.name.clone(),
+        source.relation,
+        source.grouping,
+        config,
+    )
+    .map_err(err)?;
+    let SaveReport {
+        generation,
+        files_written,
+        bytes_written,
+    } = w.save_all(store).map_err(err)?;
+    Ok(format!(
+        "saved relation `{}` to {} — generation {generation}, {files_written} files, \
+         {bytes_written} bytes ({} synopsis tuples)\n",
+        source.name,
+        store.root().display(),
+        w.total_synopsis_rows()
+    ))
+}
+
+fn render_open(w: &Warehouse, report: &OpenReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "opened warehouse at generation {}: {} relation(s)",
+        report.generation,
+        report.relations.len()
+    );
+    for r in &report.relations {
+        let status = match &r.status {
+            RelationStatus::Healthy => "healthy".to_string(),
+            RelationStatus::Rebuilt { quarantined } => match quarantined {
+                Some(key) => format!("rebuilt (corrupt synopsis quarantined at {key})"),
+                None => "rebuilt (no synopsis was saved)".to_string(),
+            },
+            RelationStatus::Degraded { reason } => {
+                format!("DEGRADED — exact scans only ({reason})")
+            }
+            RelationStatus::Lost { reason } => format!("LOST — {reason}"),
+        };
+        let _ = writeln!(out, "  {}: {status}", r.name);
+        if r.wal_records_replayed > 0 || r.wal_bytes_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "    wal: {} record(s) replayed, {} torn byte(s) dropped",
+                r.wal_records_replayed, r.wal_bytes_dropped
+            );
+        }
+    }
+    let degraded = w.degraded_relations();
+    if !degraded.is_empty() {
+        let _ = writeln!(
+            out,
+            "warning: {} relation(s) degraded; run `warehouse repair` to rebuild",
+            degraded.len()
+        );
+    }
+    out
+}
+
+fn render_verify(report: &VerifyReport) -> String {
+    let mut out = String::new();
+    for line in &report.lines {
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(
+        out,
+        "{}",
+        if report.ok {
+            "verify: OK"
+        } else {
+            "verify: FAILED — run `warehouse repair`"
+        }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::test_support::args;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir()
+            .join("congress_cli_warehouse")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.to_str().unwrap().to_string()
+    }
+
+    fn save_demo(dir: &str) {
+        warehouse(&args(&[
+            "warehouse",
+            "save",
+            "--demo",
+            "--rows",
+            "3000",
+            "--groups",
+            "27",
+            "--space",
+            "300",
+            "--dir",
+            dir,
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn save_verify_open_round_trip() {
+        let dir = tmp("round_trip");
+        save_demo(&dir);
+        let out = warehouse(&args(&["warehouse", "verify", "--dir", &dir])).unwrap();
+        assert!(out.contains("verify: OK"), "{out}");
+        let out = warehouse(&args(&["warehouse", "open", "--dir", &dir])).unwrap();
+        assert!(out.contains("lineitem: healthy"), "{out}");
+    }
+
+    #[test]
+    fn corruption_is_detected_and_repaired() {
+        let dir = tmp("repair");
+        save_demo(&dir);
+        // Flip a byte in the synopsis blob on disk.
+        let snap = walk(&dir)
+            .into_iter()
+            .find(|p| p.contains("synopsis"))
+            .unwrap();
+        let mut bytes = std::fs::read(&snap).unwrap();
+        bytes[20] ^= 0x08;
+        std::fs::write(&snap, &bytes).unwrap();
+
+        let out = warehouse(&args(&["warehouse", "verify", "--dir", &dir])).unwrap();
+        assert!(out.contains("verify: FAILED"), "{out}");
+        assert!(out.contains("CORRUPT"), "{out}");
+
+        // Degraded open serves, loudly.
+        let out = warehouse(&args(&["warehouse", "open", "--dir", &dir, "--degrade"])).unwrap();
+        assert!(out.contains("DEGRADED"), "{out}");
+
+        // Repair rebuilds and the store verifies clean again.
+        let out = warehouse(&args(&["warehouse", "repair", "--dir", &dir])).unwrap();
+        assert!(out.contains("rebuilt"), "{out}");
+        assert!(out.contains("repaired: generation 2"), "{out}");
+        let out = warehouse(&args(&["warehouse", "verify", "--dir", &dir])).unwrap();
+        assert!(out.contains("verify: OK"), "{out}");
+    }
+
+    #[test]
+    fn bad_invocations() {
+        let dir = tmp("bad");
+        let e = warehouse(&args(&["warehouse", "--dir", &dir])).unwrap_err();
+        assert!(e.contains("save|open|verify|repair"), "{e}");
+        let e = warehouse(&args(&["warehouse", "frob", "--dir", &dir])).unwrap_err();
+        assert!(e.contains("unknown warehouse action"), "{e}");
+        let e = warehouse(&args(&[
+            "warehouse",
+            "save",
+            "--demo",
+            "--rows",
+            "100",
+            "--groups",
+            "8",
+            "--dir",
+            &dir,
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--space"), "{e}");
+        let e = warehouse(&args(&["warehouse", "open", "--dir", &dir])).unwrap_err();
+        assert!(e.contains("manifest"), "{e}");
+        let e = warehouse(&args(&["warehouse", "open"])).unwrap_err();
+        assert!(e.contains("--dir"), "{e}");
+    }
+
+    /// Recursively list files under `dir`.
+    fn walk(dir: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut stack = vec![std::path::PathBuf::from(dir)];
+        while let Some(d) = stack.pop() {
+            for entry in std::fs::read_dir(&d).unwrap() {
+                let path = entry.unwrap().path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else {
+                    out.push(path.to_str().unwrap().to_string());
+                }
+            }
+        }
+        out
+    }
+}

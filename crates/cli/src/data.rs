@@ -75,30 +75,18 @@ fn resolve_grouping(
     }
 }
 
-/// Parse the `--strategy` flag.
+/// Parse the `--strategy` flag (tokens shared with the warehouse
+/// manifest via [`aqua::SamplingStrategy::from_token`]).
 pub fn strategy(args: &Args) -> Result<aqua::SamplingStrategy> {
-    match args.get("strategy").unwrap_or("congress") {
-        "house" => Ok(aqua::SamplingStrategy::House),
-        "senate" => Ok(aqua::SamplingStrategy::Senate),
-        "basic" => Ok(aqua::SamplingStrategy::BasicCongress),
-        "congress" => Ok(aqua::SamplingStrategy::Congress),
-        other => Err(format!(
-            "unknown --strategy `{other}` (house|senate|basic|congress)"
-        )),
-    }
+    aqua::SamplingStrategy::from_token(args.get("strategy").unwrap_or("congress"))
+        .map_err(|e| format!("--strategy: {e}"))
 }
 
-/// Parse the `--rewrite` flag.
+/// Parse the `--rewrite` flag (tokens shared with the warehouse manifest
+/// via [`aqua::RewriteChoice::from_token`]).
 pub fn rewrite(args: &Args) -> Result<aqua::RewriteChoice> {
-    match args.get("rewrite").unwrap_or("nested") {
-        "integrated" => Ok(aqua::RewriteChoice::Integrated),
-        "nested" => Ok(aqua::RewriteChoice::NestedIntegrated),
-        "normalized" => Ok(aqua::RewriteChoice::Normalized),
-        "keynorm" => Ok(aqua::RewriteChoice::KeyNormalized),
-        other => Err(format!(
-            "unknown --rewrite `{other}` (integrated|nested|normalized|keynorm)"
-        )),
-    }
+    aqua::RewriteChoice::from_token(args.get("rewrite").unwrap_or("nested"))
+        .map_err(|e| format!("--rewrite: {e}"))
 }
 
 #[cfg(test)]

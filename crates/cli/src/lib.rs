@@ -38,10 +38,13 @@ USAGE:
   congress-cli <COMMAND> [OPTIONS] [SQL]
 
 COMMANDS:
-  inspect   Take the census of the data: group counts and size skew
-  plan      Show the §4 allocation table for a space budget
-  query     Answer a SQL query approximately (with exact comparison)
-  sample    Draw a sample and write it as a binary snapshot
+  inspect    Take the census of the data: group counts and size skew
+  plan       Show the §4 allocation table for a space budget
+  query      Answer a SQL query approximately (with exact comparison)
+  sample     Draw a sample and write it as a binary snapshot
+  warehouse  Durable persistence: save | open | verify | repair --dir <DIR>
+             (checksummed manifest; corrupt synopses are quarantined and
+              rebuilt, or served degraded with --degrade)
 
 DATA SOURCE (choose one):
   --csv <FILE>            load a CSV with a header row (types inferred)
@@ -61,9 +64,15 @@ COMMON OPTIONS:
                           1 = sequential; same output for any value
   --top <N>               rows to print in tables (default 20)
   --out <FILE>            output path (sample)
+  --dir <DIR>             warehouse directory (warehouse)
+  --degrade               on corruption, serve exact scans instead of
+                          rebuilding the synopsis (warehouse open/repair)
 
 EXAMPLES:
   congress-cli plan --demo --space 1000
   congress-cli query --demo --space 7000 \\
     \"SELECT l_returnflag, SUM(l_quantity) AS s FROM lineitem GROUP BY l_returnflag\"
+  congress-cli warehouse save --demo --space 5000 --dir ./wh
+  congress-cli warehouse verify --dir ./wh
+  congress-cli warehouse open --dir ./wh
 ";

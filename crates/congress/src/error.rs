@@ -23,6 +23,11 @@ pub enum CongressError {
     EmptyRelation,
     /// A workload/criteria specification was malformed.
     InvalidSpec(String),
+    /// A stored snapshot failed validation (bad magic, torn bytes,
+    /// checksum mismatch, hostile length fields).
+    CorruptSnapshot(String),
+    /// The durable store failed an operation.
+    Store(crate::store::StoreError),
 }
 
 impl fmt::Display for CongressError {
@@ -36,6 +41,8 @@ impl fmt::Display for CongressError {
             CongressError::CensusMismatch(m) => write!(f, "census mismatch: {m}"),
             CongressError::EmptyRelation => write!(f, "cannot sample an empty relation"),
             CongressError::InvalidSpec(m) => write!(f, "invalid specification: {m}"),
+            CongressError::CorruptSnapshot(m) => write!(f, "corrupt snapshot: {m}"),
+            CongressError::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
@@ -45,6 +52,7 @@ impl std::error::Error for CongressError {
         match self {
             CongressError::Relation(e) => Some(e),
             CongressError::Engine(e) => Some(e),
+            CongressError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -53,6 +61,12 @@ impl std::error::Error for CongressError {
 impl From<RelationError> for CongressError {
     fn from(e: RelationError) -> Self {
         CongressError::Relation(e)
+    }
+}
+
+impl From<crate::store::StoreError> for CongressError {
+    fn from(e: crate::store::StoreError) -> Self {
+        CongressError::Store(e)
     }
 }
 
@@ -74,5 +88,15 @@ mod tests {
         assert!(e.to_string().contains("engine"));
         assert!(CongressError::InvalidSpace(-1.0).to_string().contains("-1"));
         assert!(std::error::Error::source(&CongressError::EmptyRelation).is_none());
+        let e = CongressError::CorruptSnapshot("torn".into());
+        assert!(e.to_string().contains("corrupt snapshot"));
+        let e: CongressError = crate::store::StoreError {
+            op: "put".into(),
+            key: "k".into(),
+            message: "boom".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

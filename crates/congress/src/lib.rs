@@ -34,11 +34,19 @@
 //!   across threads, with a deterministic-seeding layer ([`seed::SeedSpec`])
 //!   deriving one RNG stream per finest group so the constructed sample is
 //!   bit-for-bit identical at any thread count.
+//! * **Durable persistence** — a checksummed snapshot encoding
+//!   ([`snapshot`], format v2: CRC32C per section plus a whole-file
+//!   footer), CRC32C itself ([`checksum`]), and the storage contract the
+//!   warehouse recovers through ([`store`]): atomic filesystem writes
+//!   ([`store::FsStore`]) and deterministic fault injection
+//!   ([`store::FaultyStore`]) so every crash and corruption scenario is
+//!   exercised in-tree.
 
 pub mod alloc;
 pub mod bounds;
 pub mod build;
 pub mod census;
+pub mod checksum;
 pub mod cube;
 pub mod error;
 pub mod lattice;
@@ -46,11 +54,14 @@ pub mod metrics;
 pub mod sample;
 pub mod seed;
 pub mod snapshot;
+pub mod store;
 
 pub use alloc::{Allocation, AllocationStrategy, BasicCongress, Congress, House, Senate};
 pub use census::GroupCensus;
+pub use checksum::{crc32c, Crc32c};
 pub use cube::CountCube;
 pub use error::{CongressError, Result};
 pub use metrics::{compare_results, mac_error, GroupByErrorReport};
 pub use sample::CongressionalSample;
 pub use seed::SeedSpec;
+pub use store::{Fault, FaultyStore, FsStore, MemStore, SnapshotStore, StoreError, StoreResult};

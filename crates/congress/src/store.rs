@@ -1,0 +1,628 @@
+//! Durable byte storage for synopses and warehouse state.
+//!
+//! The paper stores synopses "as regular relations in the DBMS" (§2) and
+//! leans on the warehouse for durability. This workspace has no DBMS
+//! underneath, so this module supplies the equivalent contract: a
+//! [`SnapshotStore`] of named byte blobs with **atomic, durable writes**.
+//! Three implementations:
+//!
+//! * [`FsStore`] — the real thing: temp file → fsync → rename → fsync
+//!   directory, so a crash at any instant leaves either the old bytes or
+//!   the new bytes, never a torn file.
+//! * [`MemStore`] — an in-memory map for fast tests.
+//! * [`FaultyStore`] — a deterministic fault injector wrapping any inner
+//!   store. Every failure mode the recovery path must survive (ENOSPC,
+//!   torn write, bit rot, half-completed rename, process kill at operation
+//!   N) can be scripted and replayed in-tree.
+//!
+//! Keys are relative, `/`-separated paths (`"sales/table.g3.bin"`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Result alias for store operations.
+pub type StoreResult<T> = std::result::Result<T, StoreError>;
+
+/// A storage-layer failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError {
+    /// The operation that failed (`"put"`, `"get"`, ...).
+    pub op: String,
+    /// The key involved.
+    pub key: String,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl StoreError {
+    fn new(op: &str, key: &str, message: impl Into<String>) -> StoreError {
+        StoreError {
+            op: op.to_string(),
+            key: key.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Whether this error is a missing-key lookup (as opposed to an I/O
+    /// or injected failure) — recovery treats "absent" and "unreadable"
+    /// differently only for reporting.
+    pub fn is_not_found(&self) -> bool {
+        self.message.contains("not found")
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "store {} `{}`: {}", self.op, self.key, self.message)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A flat namespace of durable byte blobs.
+///
+/// Contract: [`put`](Self::put) is atomic — after a crash the key holds
+/// either its previous bytes or the new bytes in full.
+/// [`append`](Self::append) is *not* atomic (it backs write-ahead logs,
+/// whose readers must tolerate a torn tail).
+pub trait SnapshotStore: Send + Sync {
+    /// Atomically replace `key` with `bytes`.
+    fn put(&self, key: &str, bytes: &[u8]) -> StoreResult<()>;
+    /// Read the full contents of `key`.
+    fn get(&self, key: &str) -> StoreResult<Vec<u8>>;
+    /// Whether `key` exists.
+    fn exists(&self, key: &str) -> StoreResult<bool>;
+    /// Atomically move `from` to `to` (used for quarantine).
+    fn rename(&self, from: &str, to: &str) -> StoreResult<()>;
+    /// Remove `key`. Removing a missing key is not an error.
+    fn delete(&self, key: &str) -> StoreResult<()>;
+    /// All keys, sorted.
+    fn list(&self) -> StoreResult<Vec<String>>;
+    /// Append `bytes` to `key` durably (creating it if absent).
+    fn append(&self, key: &str, bytes: &[u8]) -> StoreResult<()>;
+}
+
+fn validate_key(op: &str, key: &str) -> StoreResult<()> {
+    let ok = !key.is_empty()
+        && !key.starts_with('/')
+        && !key.ends_with('/')
+        && key
+            .split('/')
+            .all(|seg| !seg.is_empty() && seg != "." && seg != "..");
+    if ok {
+        Ok(())
+    } else {
+        Err(StoreError::new(
+            op,
+            key,
+            "invalid key (relative paths only)",
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem store
+// ---------------------------------------------------------------------------
+
+/// Filesystem-backed store rooted at a directory, with crash-safe writes.
+#[derive(Debug)]
+pub struct FsStore {
+    root: PathBuf,
+    /// Monotonic counter making temp-file names unique within a process.
+    tmp_seq: AtomicU64,
+}
+
+impl FsStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> StoreResult<FsStore> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| StoreError::new("open", &root.display().to_string(), e.to_string()))?;
+        Ok(FsStore {
+            root,
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        let mut p = self.root.clone();
+        for seg in key.split('/') {
+            p.push(seg);
+        }
+        p
+    }
+
+    fn ensure_parent(&self, op: &str, key: &str, path: &Path) -> StoreResult<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| StoreError::new(op, key, e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// fsync the directory containing `path` so the rename itself is
+    /// durable (best-effort where the platform disallows opening dirs).
+    fn sync_parent(path: &Path) {
+        if let Some(parent) = path.parent() {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+}
+
+impl SnapshotStore for FsStore {
+    fn put(&self, key: &str, bytes: &[u8]) -> StoreResult<()> {
+        validate_key("put", key)?;
+        let final_path = self.path_of(key);
+        self.ensure_parent("put", key, &final_path)?;
+        let tmp = final_path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let write = |tmp: &Path| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            Ok(())
+        };
+        if let Err(e) = write(&tmp) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(StoreError::new("put", key, e.to_string()));
+        }
+        if let Err(e) = std::fs::rename(&tmp, &final_path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(StoreError::new("put", key, e.to_string()));
+        }
+        Self::sync_parent(&final_path);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> StoreResult<Vec<u8>> {
+        validate_key("get", key)?;
+        match std::fs::read(self.path_of(key)) {
+            Ok(b) => Ok(b),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StoreError::new("get", key, "not found"))
+            }
+            Err(e) => Err(StoreError::new("get", key, e.to_string())),
+        }
+    }
+
+    fn exists(&self, key: &str) -> StoreResult<bool> {
+        validate_key("exists", key)?;
+        Ok(self.path_of(key).is_file())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> StoreResult<()> {
+        validate_key("rename", from)?;
+        validate_key("rename", to)?;
+        let dst = self.path_of(to);
+        self.ensure_parent("rename", to, &dst)?;
+        std::fs::rename(self.path_of(from), &dst)
+            .map_err(|e| StoreError::new("rename", from, e.to_string()))?;
+        Self::sync_parent(&dst);
+        Ok(())
+    }
+
+    fn delete(&self, key: &str) -> StoreResult<()> {
+        validate_key("delete", key)?;
+        match std::fs::remove_file(self.path_of(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError::new("delete", key, e.to_string())),
+        }
+    }
+
+    fn list(&self) -> StoreResult<Vec<String>> {
+        fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+            for entry in std::fs::read_dir(dir)? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    walk(root, &path, out)?;
+                } else if let Ok(rel) = path.strip_prefix(root) {
+                    let key = rel
+                        .components()
+                        .map(|c| c.as_os_str().to_string_lossy())
+                        .collect::<Vec<_>>()
+                        .join("/");
+                    out.push(key);
+                }
+            }
+            Ok(())
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &self.root, &mut out)
+            .map_err(|e| StoreError::new("list", "", e.to_string()))?;
+        out.sort();
+        Ok(out)
+    }
+
+    fn append(&self, key: &str, bytes: &[u8]) -> StoreResult<()> {
+        validate_key("append", key)?;
+        let path = self.path_of(key);
+        self.ensure_parent("append", key, &path)?;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StoreError::new("append", key, e.to_string()))?;
+        f.write_all(bytes)
+            .and_then(|()| f.sync_all())
+            .map_err(|e| StoreError::new("append", key, e.to_string()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory store
+// ---------------------------------------------------------------------------
+
+/// In-memory store: the same contract as [`FsStore`], for fast tests and
+/// as the substrate under [`FaultyStore`].
+#[derive(Debug, Default)]
+pub struct MemStore {
+    map: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemStore {
+    /// Empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+}
+
+impl SnapshotStore for MemStore {
+    fn put(&self, key: &str, bytes: &[u8]) -> StoreResult<()> {
+        validate_key("put", key)?;
+        self.map
+            .lock()
+            .unwrap()
+            .insert(key.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> StoreResult<Vec<u8>> {
+        validate_key("get", key)?;
+        self.map
+            .lock()
+            .unwrap()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| StoreError::new("get", key, "not found"))
+    }
+
+    fn exists(&self, key: &str) -> StoreResult<bool> {
+        validate_key("exists", key)?;
+        Ok(self.map.lock().unwrap().contains_key(key))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> StoreResult<()> {
+        validate_key("rename", from)?;
+        validate_key("rename", to)?;
+        let mut map = self.map.lock().unwrap();
+        let bytes = map
+            .remove(from)
+            .ok_or_else(|| StoreError::new("rename", from, "not found"))?;
+        map.insert(to.to_string(), bytes);
+        Ok(())
+    }
+
+    fn delete(&self, key: &str) -> StoreResult<()> {
+        validate_key("delete", key)?;
+        self.map.lock().unwrap().remove(key);
+        Ok(())
+    }
+
+    fn list(&self) -> StoreResult<Vec<String>> {
+        Ok(self.map.lock().unwrap().keys().cloned().collect())
+    }
+
+    fn append(&self, key: &str, bytes: &[u8]) -> StoreResult<()> {
+        validate_key("append", key)?;
+        self.map
+            .lock()
+            .unwrap()
+            .entry(key.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// A scripted failure for [`FaultyStore`]. Operation indices count every
+/// *mutating* operation (`put`, `rename`, `delete`, `append`) the wrapped
+/// store sees, starting at 0; reads never trip a fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// The N-th mutating operation fails cleanly, with no effect (a full
+    /// disk, a pulled cable). All later operations fail too — the process
+    /// is presumed dead; recovery happens on the *inner* store.
+    FailAt {
+        /// Mutating-operation index that fails.
+        op: u64,
+    },
+    /// The N-th `put` writes only the first `keep` bytes of its payload
+    /// (a torn write on a store without atomic replace) and reports
+    /// success. Ops after it proceed normally.
+    TruncateAt {
+        /// Mutating-operation index to tear.
+        op: u64,
+        /// Bytes of the payload that reach the store.
+        keep: usize,
+    },
+    /// The N-th `put` lands with bit `bit` of the payload flipped (bit
+    /// rot / silent corruption) and reports success.
+    FlipBit {
+        /// Mutating-operation index to corrupt.
+        op: u64,
+        /// Absolute bit offset within the payload (wraps modulo size).
+        bit: u64,
+    },
+    /// Every byte written past a cumulative budget fails with ENOSPC.
+    /// Puts and appends that would cross the line fail with no effect.
+    Enospc {
+        /// Total bytes the store accepts before reporting full.
+        byte_budget: u64,
+    },
+    /// The N-th `rename` half-completes: the destination receives the
+    /// bytes but the source also survives, and the call reports failure
+    /// (a crash between the copy and the unlink of a non-atomic rename).
+    PartialRenameAt {
+        /// Mutating-operation index to interrupt.
+        op: u64,
+    },
+}
+
+/// Deterministic fault-injecting wrapper around any [`SnapshotStore`].
+///
+/// The injector counts mutating operations and fires the scripted
+/// [`Fault`] when its index comes up, so a test can sweep "kill the
+/// writer at every step" by re-running the same workload with `FailAt
+/// { op: 0 }, { op: 1 }, ...` and asserting recovery after each.
+pub struct FaultyStore<S> {
+    inner: S,
+    fault: Fault,
+    ops: AtomicU64,
+    bytes_written: AtomicU64,
+    dead: std::sync::atomic::AtomicBool,
+}
+
+impl<S: SnapshotStore> FaultyStore<S> {
+    /// Wrap `inner`, arming `fault`.
+    pub fn new(inner: S, fault: Fault) -> FaultyStore<S> {
+        FaultyStore {
+            inner,
+            fault,
+            ops: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            dead: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Mutating operations issued so far (including the faulted one).
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Whether the armed fault has fired.
+    pub fn fired(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+            || matches!(self.fault, Fault::TruncateAt { op, .. } | Fault::FlipBit { op, .. } | Fault::PartialRenameAt { op } if self.ops() > op)
+    }
+
+    /// The wrapped store (the "disk" that survives the crash).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Take the next op index, returning whether a clean failure fires.
+    fn admit(&self, op_name: &str, key: &str, payload: usize) -> StoreResult<u64> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(StoreError::new(op_name, key, "injected: store is dead"));
+        }
+        let idx = self.ops.fetch_add(1, Ordering::SeqCst);
+        match self.fault {
+            Fault::FailAt { op } if idx >= op => {
+                self.dead.store(true, Ordering::SeqCst);
+                Err(StoreError::new(
+                    op_name,
+                    key,
+                    format!("injected: failed at op {idx}"),
+                ))
+            }
+            Fault::Enospc { byte_budget } => {
+                let before = self
+                    .bytes_written
+                    .fetch_add(payload as u64, Ordering::SeqCst);
+                if before + payload as u64 > byte_budget {
+                    self.bytes_written
+                        .fetch_sub(payload as u64, Ordering::SeqCst);
+                    Err(StoreError::new(op_name, key, "injected: no space left"))
+                } else {
+                    Ok(idx)
+                }
+            }
+            _ => Ok(idx),
+        }
+    }
+}
+
+impl<S: SnapshotStore> SnapshotStore for FaultyStore<S> {
+    fn put(&self, key: &str, bytes: &[u8]) -> StoreResult<()> {
+        let idx = self.admit("put", key, bytes.len())?;
+        match self.fault {
+            Fault::TruncateAt { op, keep } if idx == op => {
+                self.inner.put(key, &bytes[..keep.min(bytes.len())])
+            }
+            Fault::FlipBit { op, bit } if idx == op && !bytes.is_empty() => {
+                let mut corrupted = bytes.to_vec();
+                let b = (bit as usize) % (corrupted.len() * 8);
+                corrupted[b / 8] ^= 1 << (b % 8);
+                self.inner.put(key, &corrupted)
+            }
+            _ => self.inner.put(key, bytes),
+        }
+    }
+
+    fn get(&self, key: &str) -> StoreResult<Vec<u8>> {
+        self.inner.get(key)
+    }
+
+    fn exists(&self, key: &str) -> StoreResult<bool> {
+        self.inner.exists(key)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> StoreResult<()> {
+        let idx = self.admit("rename", from, 0)?;
+        if let Fault::PartialRenameAt { op } = self.fault {
+            if idx == op {
+                let bytes = self.inner.get(from)?;
+                self.inner.put(to, &bytes)?;
+                self.dead.store(true, Ordering::SeqCst);
+                return Err(StoreError::new(
+                    "rename",
+                    from,
+                    "injected: crashed mid-rename",
+                ));
+            }
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn delete(&self, key: &str) -> StoreResult<()> {
+        self.admit("delete", key, 0)?;
+        self.inner.delete(key)
+    }
+
+    fn list(&self) -> StoreResult<Vec<String>> {
+        self.inner.list()
+    }
+
+    fn append(&self, key: &str, bytes: &[u8]) -> StoreResult<()> {
+        let idx = self.admit("append", key, bytes.len())?;
+        if let Fault::TruncateAt { op, keep } = self.fault {
+            if idx == op {
+                return self.inner.append(key, &bytes[..keep.min(bytes.len())]);
+            }
+        }
+        self.inner.append(key, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contract(store: &dyn SnapshotStore) {
+        assert!(!store.exists("a/b").unwrap());
+        assert!(store.get("a/b").unwrap_err().is_not_found());
+        store.put("a/b", b"hello").unwrap();
+        assert!(store.exists("a/b").unwrap());
+        assert_eq!(store.get("a/b").unwrap(), b"hello");
+        store.put("a/b", b"rewritten").unwrap();
+        assert_eq!(store.get("a/b").unwrap(), b"rewritten");
+        store.append("a/wal", b"one").unwrap();
+        store.append("a/wal", b"two").unwrap();
+        assert_eq!(store.get("a/wal").unwrap(), b"onetwo");
+        store.rename("a/b", "quarantine/b").unwrap();
+        assert!(!store.exists("a/b").unwrap());
+        assert_eq!(store.get("quarantine/b").unwrap(), b"rewritten");
+        let keys = store.list().unwrap();
+        assert_eq!(keys, vec!["a/wal".to_string(), "quarantine/b".to_string()]);
+        store.delete("quarantine/b").unwrap();
+        store.delete("quarantine/b").unwrap(); // idempotent
+        assert!(!store.exists("quarantine/b").unwrap());
+    }
+
+    #[test]
+    fn mem_store_contract() {
+        contract(&MemStore::new());
+    }
+
+    #[test]
+    fn fs_store_contract() {
+        let dir = std::env::temp_dir().join(format!("congress_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        contract(&FsStore::open(&dir).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fs_store_put_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("congress_store_tmp_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FsStore::open(&dir).unwrap();
+        for i in 0..10 {
+            store.put("k", format!("v{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(store.list().unwrap(), vec!["k".to_string()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn keys_are_validated() {
+        let store = MemStore::new();
+        for bad in ["", "/abs", "a/", "a//b", "../escape", "a/./b"] {
+            assert!(store.put(bad, b"x").is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn fail_at_kills_the_store() {
+        let store = FaultyStore::new(MemStore::new(), Fault::FailAt { op: 1 });
+        store.put("a", b"1").unwrap();
+        assert!(store.put("b", b"2").is_err());
+        assert!(store.put("c", b"3").is_err(), "store stays dead");
+        assert!(store.fired());
+        // The crash site is inspectable: only the first write landed.
+        assert_eq!(store.inner().list().unwrap(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn truncate_and_flip_corrupt_the_payload() {
+        let store = FaultyStore::new(MemStore::new(), Fault::TruncateAt { op: 0, keep: 2 });
+        store.put("t", b"hello").unwrap();
+        assert_eq!(store.get("t").unwrap(), b"he");
+
+        let store = FaultyStore::new(MemStore::new(), Fault::FlipBit { op: 0, bit: 9 });
+        store.put("f", &[0x00, 0x00]).unwrap();
+        assert_eq!(store.get("f").unwrap(), vec![0x00, 0x02]);
+    }
+
+    #[test]
+    fn enospc_blocks_writes_past_budget() {
+        let store = FaultyStore::new(MemStore::new(), Fault::Enospc { byte_budget: 10 });
+        store.put("a", &[0u8; 6]).unwrap();
+        assert!(store.put("b", &[0u8; 6]).is_err());
+        store.put("c", &[0u8; 4]).unwrap(); // still fits
+        assert!(store.append("c", &[0u8; 1]).is_err());
+    }
+
+    #[test]
+    fn partial_rename_leaves_both_files() {
+        let store = FaultyStore::new(MemStore::new(), Fault::PartialRenameAt { op: 1 });
+        store.put("src", b"payload").unwrap();
+        assert!(store.rename("src", "dst").is_err());
+        assert_eq!(store.inner().get("src").unwrap(), b"payload");
+        assert_eq!(store.inner().get("dst").unwrap(), b"payload");
+    }
+}

@@ -51,6 +51,9 @@ pub enum RelationError {
         /// The operand's actual type.
         actual: DataType,
     },
+    /// A binary relation encoding failed validation (torn bytes, hostile
+    /// length fields, unknown tags).
+    CorruptEncoding(String),
 }
 
 impl fmt::Display for RelationError {
@@ -86,6 +89,7 @@ impl fmt::Display for RelationError {
             RelationError::InvalidOperandType { context, actual } => {
                 write!(f, "invalid operand type {actual} in {context}")
             }
+            RelationError::CorruptEncoding(m) => write!(f, "corrupt relation encoding: {m}"),
         }
     }
 }

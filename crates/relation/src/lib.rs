@@ -30,6 +30,7 @@
 //!            Value::str("WY"));
 //! ```
 
+pub mod binio;
 pub mod column;
 pub mod csv;
 pub mod datatype;
