@@ -3,10 +3,12 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use std::sync::Arc;
+
 use congress::bounds::{
     avg_bound_hoeffding, stratified_avg_bound, stratified_sum_bound, ErrorBound, Moments,
 };
-use engine::{AggregateFn, GroupByQuery, GroupIndex, QueryResult, StratifiedInput};
+use engine::{AggregateFn, GroupByQuery, GroupIndex, QueryCache, QueryResult, StratifiedInput};
 use relation::GroupKey;
 
 use crate::error::Result;
@@ -106,15 +108,38 @@ pub fn compute_bounds(
     result: &QueryResult,
     confidence: f64,
 ) -> Result<Vec<GroupBounds>> {
+    compute_bounds_cached(input, query, result, confidence, None)
+}
+
+/// [`compute_bounds`] with an optional per-synopsis [`QueryCache`]: the
+/// unfiltered group index over the sample is the same one the rewrite
+/// strategies memoize, so the warm path skips rebuilding it here too.
+pub fn compute_bounds_cached(
+    input: &StratifiedInput,
+    query: &GroupByQuery,
+    result: &QueryResult,
+    confidence: f64,
+    cache: Option<&QueryCache>,
+) -> Result<Vec<GroupBounds>> {
     let rel = &input.rows;
     let mask = query.predicate.eval(rel);
     // Group rows by the *query's* grouping (not the strata grouping).
-    let index = GroupIndex::build(rel, &query.grouping);
+    let index: Arc<GroupIndex> = match cache {
+        Some(c) => c.index_for(rel, &query.grouping, false),
+        None => Arc::new(GroupIndex::build(rel, &query.grouping)),
+    };
 
+    // Masked evaluation: unselected slots come back 0.0, which is exactly
+    // what the indicator-moment accumulation below pushes for them anyway.
     let exprs: Vec<Option<Vec<f64>>> = query
         .aggregates
         .iter()
-        .map(|a| a.expr.as_ref().map(|e| e.eval(rel)).transpose())
+        .map(|a| {
+            a.expr
+                .as_ref()
+                .map(|e| e.eval_masked(rel, &mask))
+                .transpose()
+        })
         .collect::<std::result::Result<_, _>>()
         .map_err(crate::AquaError::from)?;
 
@@ -134,7 +159,7 @@ pub fn compute_bounds(
             .entry((g, s))
             .or_insert_with(|| (vec![Moments::new(); aggs], vec![Moments::new(); aggs], 0, 0));
         cell.2 += 1;
-        let sel = mask[row];
+        let sel = mask.get(row);
         if sel {
             cell.3 += 1;
         }

@@ -9,7 +9,7 @@ use congress::build::{
 };
 use congress::{AllocationStrategy, CongressionalSample, GroupCensus, SeedSpec};
 use engine::rewrite::{Integrated, KeyNormalized, NestedIntegrated, Normalized, SamplePlan};
-use engine::StratifiedInput;
+use engine::{QueryCache, StratifiedInput};
 use relation::{ColumnId, GroupKey, Relation};
 
 use crate::config::{AquaConfig, RewriteChoice, SamplingStrategy};
@@ -83,6 +83,10 @@ pub struct Synopsis {
     sample: Option<CongressionalSample>,
     sample_rows: usize,
     stale: bool,
+    /// Memoized query-serving state (group indexes, stratum layout, per-row
+    /// weights) for the *current* plan generation. Invalidated whenever the
+    /// backing sample changes.
+    cache: QueryCache,
 }
 
 impl std::fmt::Debug for Synopsis {
@@ -110,6 +114,7 @@ impl Synopsis {
             sample: None,
             sample_rows: 0,
             stale: true,
+            cache: QueryCache::new(),
         })
     }
 
@@ -135,6 +140,7 @@ impl Synopsis {
             self.maintainer.insert(first_row + r, &key, &mut self.rng);
         }
         self.stale = true;
+        self.cache.invalidate();
         Ok(())
     }
 
@@ -155,6 +161,7 @@ impl Synopsis {
         self.input = Some(input);
         self.sample = Some(sample);
         self.stale = false;
+        self.cache.invalidate();
         Ok(())
     }
 
@@ -202,6 +209,7 @@ impl Synopsis {
         self.input = Some(input);
         self.sample = Some(sample);
         self.stale = false;
+        self.cache.invalidate();
         Ok(())
     }
 
@@ -218,6 +226,11 @@ impl Synopsis {
     /// The stratified input backing the plan (after a refresh).
     pub fn input(&self) -> Option<&StratifiedInput> {
         self.input.as_ref()
+    }
+
+    /// The memoized query-serving cache for the current plan generation.
+    pub fn query_cache(&self) -> &QueryCache {
+        &self.cache
     }
 
     /// Sampled tuples in the materialized synopsis.
@@ -284,6 +297,7 @@ impl Synopsis {
             input: Some(input),
             sample: Some(sample),
             stale: false,
+            cache: QueryCache::new(),
         })
     }
 }

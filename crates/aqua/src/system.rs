@@ -2,10 +2,10 @@
 
 use parking_lot::RwLock;
 
-use engine::{execute_exact, GroupByQuery, QueryResult};
+use engine::{execute_exact, ExecOptions, GroupByQuery, QueryResult};
 use relation::{ColumnId, Relation, Value};
 
-use crate::answer::{compute_bounds, AnswerProvenance, ApproximateAnswer};
+use crate::answer::{compute_bounds_cached, AnswerProvenance, ApproximateAnswer};
 use crate::config::AquaConfig;
 use crate::error::{AquaError, Result};
 use crate::synopsis::Synopsis;
@@ -86,6 +86,12 @@ impl Aqua {
 
     /// Answer a query approximately from the synopsis, with per-group
     /// error bounds — the full Figure 2 → Figure 4 pipeline.
+    ///
+    /// Serving runs through the vectorized fast path: the synopsis's
+    /// [`engine::QueryCache`] memoizes group indexes / stratum layouts
+    /// across queries (invalidated on insert/refresh/rebuild), and chunked
+    /// parallel aggregation engages when `config.parallelism` permits more
+    /// than one thread. Answers are bit-identical to the cold serial path.
     pub fn answer(&self, query: &GroupByQuery) -> Result<ApproximateAnswer> {
         self.refresh_if_stale()?;
         let inner = self.inner.read();
@@ -93,13 +99,18 @@ impl Aqua {
             .synopsis
             .plan()
             .expect("refresh_if_stale materialized the plan");
-        let result = plan.execute(query)?;
+        let cache = inner.synopsis.query_cache();
+        let opts = ExecOptions {
+            cache: Some(cache),
+            parallel: inner.synopsis.config().effective_parallelism() != 1,
+        };
+        let result = plan.execute_opts(query, &opts)?;
         let input = inner
             .synopsis
             .input()
             .expect("refresh_if_stale materialized the input");
         let confidence = inner.synopsis.config().confidence;
-        let bounds = compute_bounds(input, query, &result, confidence)?;
+        let bounds = compute_bounds_cached(input, query, &result, confidence, Some(cache))?;
         Ok(ApproximateAnswer {
             result,
             bounds,

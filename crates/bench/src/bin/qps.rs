@@ -1,0 +1,328 @@
+//! Query-serving throughput bench for the vectorized fast path.
+//!
+//! Drives a mixed group-by workload (`Q_{g2}`, `Q_{g3}`, and a slice of
+//! the `Q_{g0}` range-query set) against a congressional sample of the
+//! 1M-row TPC-D `lineitem` table and reports p50/p99 latency and
+//! queries/sec for:
+//!
+//! * `legacy` — a faithful replica of the pre-fast-path executor
+//!   (per-query filtered group index, full-table expression evaluation,
+//!   row-at-a-time `Vec<bool>` selection scan);
+//! * `cold` serial/parallel — the vectorized path with no query cache;
+//! * `warm` serial/parallel — the vectorized path with a per-synopsis
+//!   [`QueryCache`] shared across the workload.
+//!
+//! Results land in `BENCH_query.json` (override with `--out <path>`).
+//! `--quick` shrinks the table for CI smoke runs.
+//!
+//! Run: `cargo run -p bench --release --bin qps [-- --quick] [--out f.json]`
+
+use std::time::{Duration, Instant};
+
+use aqua::{RewriteChoice, SamplingStrategy};
+use bench::harness::{build_plan, ExperimentSetup};
+use engine::aggregate::Accumulator;
+use engine::{
+    ExecOptions, GroupByQuery, GroupIndex, Integrated, QueryCache, QueryResult, SamplePlan,
+};
+use relation::{Bitmap, Relation};
+use tpcd::GeneratorConfig;
+
+/// The pre-fast-path executor, preserved verbatim for baseline numbers:
+/// boolean-vector selection, a *filtered* group index rebuilt per query,
+/// aggregate inputs evaluated over every row, and a row-at-a-time scan.
+fn legacy_execute(rel: &Relation, weights: &[f64], query: &GroupByQuery) -> QueryResult {
+    query.validate(rel).unwrap();
+    let mask: Vec<bool> = query.predicate.eval(rel).to_bools();
+    let bm = Bitmap::from_bools(&mask);
+    let index = GroupIndex::build_filtered(rel, &query.grouping, Some(&bm));
+
+    let exprs: Vec<Option<Vec<f64>>> = query
+        .aggregates
+        .iter()
+        .map(|a| a.expr.as_ref().map(|e| e.eval(rel).unwrap()))
+        .collect();
+
+    let mut accs: Vec<Vec<Accumulator>> = (0..index.group_count())
+        .map(|_| {
+            query
+                .aggregates
+                .iter()
+                .map(|a| Accumulator::new(a.func))
+                .collect()
+        })
+        .collect();
+    for (row, &sel) in mask.iter().enumerate() {
+        if !sel {
+            continue;
+        }
+        let gid = index.group_of(row);
+        if gid == u32::MAX {
+            continue;
+        }
+        let w = weights[row];
+        for (ai, acc) in accs[gid as usize].iter_mut().enumerate() {
+            let v = exprs[ai].as_ref().map_or(0.0, |vals| vals[row]);
+            acc.add(v, w);
+        }
+    }
+    let names = query.aggregates.iter().map(|a| a.name.clone()).collect();
+    let rows = accs
+        .into_iter()
+        .enumerate()
+        .filter(|(_, a)| a.first().is_some_and(|x| x.rows() > 0))
+        .map(|(gid, a)| {
+            (
+                index.key(gid as u32).clone(),
+                a.iter().map(Accumulator::finish).collect(),
+            )
+        })
+        .collect();
+    query.apply_having(QueryResult::new(names, rows)).unwrap()
+}
+
+#[derive(Debug)]
+struct LegResult {
+    name: String,
+    rewrite: &'static str,
+    p50_us: f64,
+    p99_us: f64,
+    qps: f64,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted_us[idx]
+}
+
+/// Run `rounds` passes of the workload through `run_query`, timing each
+/// query individually.
+fn measure(
+    name: &str,
+    rewrite: &'static str,
+    workload: &[&GroupByQuery],
+    rounds: usize,
+    mut run_query: impl FnMut(&GroupByQuery),
+) -> LegResult {
+    let mut lat_us: Vec<f64> = Vec::with_capacity(workload.len() * rounds);
+    let wall = Instant::now();
+    for _ in 0..rounds {
+        for q in workload {
+            let t0 = Instant::now();
+            run_query(q);
+            lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    let total: Duration = wall.elapsed();
+    lat_us.sort_by(f64::total_cmp);
+    let leg = LegResult {
+        name: name.to_string(),
+        rewrite,
+        p50_us: percentile(&lat_us, 50.0),
+        p99_us: percentile(&lat_us, 99.0),
+        qps: lat_us.len() as f64 / total.as_secs_f64(),
+    };
+    eprintln!(
+        "  {:<28} p50 {:>9.1} µs  p99 {:>9.1} µs  {:>10.1} q/s",
+        format!("{} ({})", leg.name, leg.rewrite),
+        leg.p50_us,
+        leg.p99_us,
+        leg.qps
+    );
+    leg
+}
+
+fn json_leg(l: &LegResult) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"rewrite\":\"{}\",\"p50_us\":{:.2},\"p99_us\":{:.2},\"qps\":{:.2}}}",
+        l.name, l.rewrite, l.p50_us, l.p99_us, l.qps
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_query.json", |s| s.as_str());
+
+    let config = GeneratorConfig {
+        table_size: if quick { 50_000 } else { 1_000_000 },
+        num_groups: 1000,
+        group_skew: 0.86,
+        agg_skew: 0.86,
+        seed: 20000516,
+    };
+    let sample_fraction = 0.05;
+    let rounds = if quick { 5 } else { 30 };
+
+    eprintln!("generating lineitem: T={} ...", config.table_size);
+    let setup = ExperimentSetup::new(config);
+
+    // Mixed workload: both group-by shapes plus six of the range queries.
+    let mut workload: Vec<&GroupByQuery> = vec![&setup.qg2, &setup.qg3];
+    workload.extend(setup.qg0.iter().take(6));
+    eprintln!(
+        "workload: {} queries, {} rounds/leg",
+        workload.len(),
+        rounds
+    );
+
+    let plan = build_plan(
+        &setup,
+        SamplingStrategy::Congress,
+        RewriteChoice::Integrated,
+        sample_fraction,
+        3_000,
+    );
+    let sample_rows = plan.sample_relation().row_count();
+    eprintln!(
+        "sample: {} rows ({}% of {})",
+        sample_rows,
+        sample_fraction * 100.0,
+        config.table_size
+    );
+
+    // The Integrated layout again, concretely typed so the legacy executor
+    // can read the SF column as per-row weights.
+    let integrated = {
+        let space = sample_fraction * setup.dataset.relation.row_count() as f64;
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3_000);
+        let sample = congress::CongressionalSample::draw(
+            &setup.dataset.relation,
+            &setup.census,
+            &congress::alloc::Congress,
+            space,
+            &mut rng,
+        )
+        .expect("sampling succeeds");
+        let input = sample
+            .to_stratified_input(&setup.dataset.relation)
+            .expect("consistent sample");
+        Integrated::build(&input).expect("valid input")
+    };
+    let legacy_rel = integrated.sample_relation().clone();
+    let legacy_weights: Vec<f64> = legacy_rel
+        .column(integrated.sf_column())
+        .as_float()
+        .expect("SF column is Float")
+        .to_vec();
+
+    let mut legs: Vec<LegResult> = Vec::new();
+
+    // Baseline: the pre-fast-path executor.
+    legs.push(measure("legacy", "Integrated", &workload, rounds, |q| {
+        let r = legacy_execute(&legacy_rel, &legacy_weights, q);
+        std::hint::black_box(r);
+    }));
+
+    // Vectorized path, cold (no cache), serial and parallel.
+    for parallel in [false, true] {
+        let name = if parallel {
+            "cold-parallel"
+        } else {
+            "cold-serial"
+        };
+        legs.push(measure(name, "Integrated", &workload, rounds, |q| {
+            let opts = ExecOptions {
+                cache: None,
+                parallel,
+            };
+            let r = plan.execute_opts(q, &opts).unwrap();
+            std::hint::black_box(r);
+        }));
+    }
+
+    // Vectorized path, warm (shared cache), serial and parallel. One
+    // untimed pass populates the cache, as a synopsis's steady state would.
+    for parallel in [false, true] {
+        let name = if parallel {
+            "warm-parallel"
+        } else {
+            "warm-serial"
+        };
+        let cache = QueryCache::new();
+        for q in &workload {
+            let opts = ExecOptions {
+                cache: Some(&cache),
+                parallel,
+            };
+            let _ = plan.execute_opts(q, &opts).unwrap();
+        }
+        legs.push(measure(name, "Integrated", &workload, rounds, |q| {
+            let opts = ExecOptions {
+                cache: Some(&cache),
+                parallel,
+            };
+            let r = plan.execute_opts(q, &opts).unwrap();
+            std::hint::black_box(r);
+        }));
+        let stats = cache.stats();
+        eprintln!("    cache: {} hits / {} misses", stats.hits, stats.misses);
+    }
+
+    // Warm-parallel coverage for the other three rewrite strategies.
+    for rewrite in [
+        RewriteChoice::NestedIntegrated,
+        RewriteChoice::Normalized,
+        RewriteChoice::KeyNormalized,
+    ] {
+        let p = build_plan(
+            &setup,
+            SamplingStrategy::Congress,
+            rewrite,
+            sample_fraction,
+            3_000,
+        );
+        let cache = QueryCache::new();
+        for q in &workload {
+            let opts = ExecOptions {
+                cache: Some(&cache),
+                parallel: true,
+            };
+            let _ = p.execute_opts(q, &opts).unwrap();
+        }
+        legs.push(measure(
+            "warm-parallel",
+            rewrite.name(),
+            &workload,
+            rounds,
+            |q| {
+                let opts = ExecOptions {
+                    cache: Some(&cache),
+                    parallel: true,
+                };
+                let r = p.execute_opts(q, &opts).unwrap();
+                std::hint::black_box(r);
+            },
+        ));
+    }
+
+    let legacy_qps = legs[0].qps;
+    let warm_parallel_qps = legs
+        .iter()
+        .find(|l| l.name == "warm-parallel" && l.rewrite == "Integrated")
+        .map_or(0.0, |l| l.qps);
+    let speedup = warm_parallel_qps / legacy_qps;
+    println!("\nlegacy: {legacy_qps:.1} q/s; warm-parallel: {warm_parallel_qps:.1} q/s; speedup: {speedup:.2}x");
+
+    let legs_json: Vec<String> = legs.iter().map(json_leg).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"query_fastpath_qps\",\n  \"table_size\": {},\n  \"sample_fraction\": {},\n  \"sample_rows\": {},\n  \"workload_queries\": {},\n  \"rounds\": {},\n  \"quick\": {},\n  \"legs\": [\n    {}\n  ],\n  \"speedup_warm_parallel_vs_legacy\": {:.3}\n}}\n",
+        config.table_size,
+        sample_fraction,
+        sample_rows,
+        workload.len(),
+        rounds,
+        quick,
+        legs_json.join(",\n    "),
+        speedup
+    );
+    std::fs::write(out_path, &json).expect("write bench JSON");
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,317 @@
+//! Per-synopsis memoization for the query-serving fast path.
+//!
+//! The paper's premise (§5) is that the synopsis is small and precomputed
+//! so queries are cheap — but a naive executor still rebuilds a
+//! [`GroupIndex`] over the sample and re-derives per-row ScaleFactors on
+//! *every* query. The sample only changes on insert/refresh/rebuild, so
+//! both are pure functions of synopsis state and can be memoized:
+//!
+//! * **Group indexes**, keyed by the query's grouping columns `T`. The
+//!   cached index is always *unfiltered* (predicates are applied during
+//!   accumulation from the selection bitmap), so one index serves every
+//!   predicate over the same grouping.
+//! * **The stratum layout**: a stable permutation of sample rows sorted by
+//!   stratum id, with one contiguous run per stratum. Expanding per-stratum
+//!   ScaleFactors to per-row weights becomes a sequential scan over runs
+//!   instead of a hash probe per row.
+//! * **Per-row weights** derived from that layout (for the Normalized
+//!   family, whose layouts do not store a per-tuple SF column).
+//!
+//! The owner ([`Synopsis`](../../aqua) in the aqua crate) must call
+//! [`QueryCache::invalidate`] whenever the backing sample changes;
+//! everything here is interior-mutable and `Sync` because answering holds
+//! only a read lock on the synopsis.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use relation::{ColumnId, Relation};
+
+use crate::grouping::{GroupIndex, PAR_MIN_ROWS};
+
+/// Execution options threaded through
+/// [`SamplePlan::execute_opts`](crate::rewrite::SamplePlan::execute_opts):
+/// which cache to consult (if any) and whether chunked parallel
+/// aggregation may be used. Results are bit-identical for every
+/// combination of these flags.
+#[derive(Clone, Copy, Default)]
+pub struct ExecOptions<'a> {
+    /// Memoized indexes/layouts for the relation being queried. `None`
+    /// recomputes everything per query (the cold path).
+    pub cache: Option<&'a QueryCache>,
+    /// Allow chunked parallel aggregation on the current rayon pool.
+    /// Only engages above [`PAR_MIN_ROWS`] rows and >1 thread.
+    pub parallel: bool,
+}
+
+/// Hit/miss counters for a [`QueryCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute and insert.
+    pub misses: u64,
+}
+
+/// Sample rows permuted into per-stratum contiguous runs.
+///
+/// Built once per synopsis generation with a stable counting sort, so run
+/// order (by stratum id) and within-run order (by row index) are
+/// deterministic.
+#[derive(Debug, Clone)]
+pub struct StratumLayout {
+    /// Row indices sorted by stratum; each stratum is one contiguous run.
+    perm: Vec<u32>,
+    /// `run_offsets[s]..run_offsets[s + 1]` bounds stratum `s` in `perm`.
+    run_offsets: Vec<u32>,
+}
+
+impl StratumLayout {
+    /// Counting-sort `stratum_of_row` into per-stratum runs.
+    pub fn build(stratum_of_row: &[u32], stratum_count: usize) -> StratumLayout {
+        let mut counts = vec![0u32; stratum_count];
+        for &s in stratum_of_row {
+            counts[s as usize] += 1;
+        }
+        let mut run_offsets = Vec::with_capacity(stratum_count + 1);
+        let mut acc = 0u32;
+        run_offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            run_offsets.push(acc);
+        }
+        let mut cursors: Vec<u32> = run_offsets[..stratum_count].to_vec();
+        let mut perm = vec![0u32; stratum_of_row.len()];
+        for (row, &s) in stratum_of_row.iter().enumerate() {
+            let c = &mut cursors[s as usize];
+            perm[*c as usize] = row as u32;
+            *c += 1;
+        }
+        StratumLayout { perm, run_offsets }
+    }
+
+    /// Number of strata.
+    pub fn stratum_count(&self) -> usize {
+        self.run_offsets.len() - 1
+    }
+
+    /// Row indices of stratum `s`, ascending.
+    pub fn rows_of(&self, s: usize) -> &[u32] {
+        let lo = self.run_offsets[s] as usize;
+        let hi = self.run_offsets[s + 1] as usize;
+        &self.perm[lo..hi]
+    }
+
+    /// Expand per-stratum ScaleFactors into per-row weights by scanning
+    /// each contiguous run once — no per-row hash or stratum-id lookup.
+    /// The produced weights are exactly `scale_factors[stratum_of_row[r]]`
+    /// for every row `r`, so downstream estimates are unchanged.
+    pub fn expand(&self, scale_factors: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(scale_factors.len(), self.stratum_count());
+        let mut out = vec![0.0; self.perm.len()];
+        for (s, &sf) in scale_factors.iter().enumerate() {
+            for &row in self.rows_of(s) {
+                out[row as usize] = sf;
+            }
+        }
+        out
+    }
+}
+
+/// Memoized query-serving state for one immutable sample generation.
+///
+/// Thread-safe with interior mutability: lookups take short mutex-guarded
+/// map probes and the heavy computation happens outside the lock (a rare
+/// duplicated build on a cold race is benign — both racers compute the
+/// identical value and the first insert wins).
+#[derive(Default)]
+pub struct QueryCache {
+    indexes: Mutex<HashMap<Vec<ColumnId>, Arc<GroupIndex>>>,
+    layout: Mutex<Option<Arc<StratumLayout>>>,
+    weights: Mutex<Option<Arc<Vec<f64>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("QueryCache")
+            .field("cached_groupings", &self.lock_indexes().len())
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+impl QueryCache {
+    /// Fresh, empty cache.
+    pub fn new() -> QueryCache {
+        QueryCache::default()
+    }
+
+    fn lock_indexes(&self) -> std::sync::MutexGuard<'_, HashMap<Vec<ColumnId>, Arc<GroupIndex>>> {
+        self.indexes.lock().expect("query cache poisoned")
+    }
+
+    /// The *unfiltered* group index of `rel` under `cols`, memoized.
+    /// `parallel` only affects how a missing index is built (the sharded
+    /// build produces an identical index at any thread count).
+    pub fn index_for(&self, rel: &Relation, cols: &[ColumnId], parallel: bool) -> Arc<GroupIndex> {
+        if let Some(ix) = self.lock_indexes().get(cols) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(ix);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(if parallel && rel.row_count() >= PAR_MIN_ROWS {
+            GroupIndex::par_build(rel, cols)
+        } else {
+            GroupIndex::build(rel, cols)
+        });
+        Arc::clone(self.lock_indexes().entry(cols.to_vec()).or_insert(built))
+    }
+
+    /// The memoized stratum layout, building it via `build` on a miss.
+    pub fn layout_for(&self, build: impl FnOnce() -> StratumLayout) -> Arc<StratumLayout> {
+        let mut guard = self.layout.lock().expect("query cache poisoned");
+        match &*guard {
+            Some(l) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(l)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let l = Arc::new(build());
+                *guard = Some(Arc::clone(&l));
+                l
+            }
+        }
+    }
+
+    /// Memoized per-row weights, building them via `build` on a miss.
+    pub fn weights_for(
+        &self,
+        build: impl FnOnce() -> crate::error::Result<Vec<f64>>,
+    ) -> crate::error::Result<Arc<Vec<f64>>> {
+        let mut guard = self.weights.lock().expect("query cache poisoned");
+        match &*guard {
+            Some(w) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Arc::clone(w))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let w = Arc::new(build()?);
+                *guard = Some(Arc::clone(&w));
+                Ok(w)
+            }
+        }
+    }
+
+    /// Drop every memoized value. Must be called whenever the backing
+    /// sample changes (insert/refresh/rebuild/import); counters survive so
+    /// long-running systems keep meaningful hit rates.
+    pub fn invalidate(&self) {
+        self.lock_indexes().clear();
+        *self.layout.lock().expect("query cache poisoned") = None;
+        *self.weights.lock().expect("query cache poisoned") = None;
+    }
+
+    /// Lifetime hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relation::{DataType, RelationBuilder, Value};
+
+    fn rel(n: usize) -> Relation {
+        let mut b = RelationBuilder::new()
+            .column("g", DataType::Int)
+            .column("v", DataType::Float);
+        for i in 0..n {
+            b.push_row(&[Value::Int((i % 7) as i64), Value::from(i as f64)])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn layout_partitions_rows_by_stratum() {
+        let strata = vec![2u32, 0, 1, 0, 2, 2, 1];
+        let layout = StratumLayout::build(&strata, 3);
+        assert_eq!(layout.stratum_count(), 3);
+        assert_eq!(layout.rows_of(0), &[1, 3]);
+        assert_eq!(layout.rows_of(1), &[2, 6]);
+        assert_eq!(layout.rows_of(2), &[0, 4, 5]);
+    }
+
+    #[test]
+    fn layout_expand_equals_per_row_lookup() {
+        let strata: Vec<u32> = (0..1000).map(|i| (i * 13) % 5).collect();
+        let sfs = [8.0, 2.5, 1.0, 4.0, 16.0];
+        let layout = StratumLayout::build(&strata, 5);
+        let expanded = layout.expand(&sfs);
+        let naive: Vec<f64> = strata.iter().map(|&s| sfs[s as usize]).collect();
+        assert_eq!(expanded, naive);
+    }
+
+    #[test]
+    fn layout_handles_empty_strata() {
+        let strata = vec![0u32, 2, 2];
+        let layout = StratumLayout::build(&strata, 4);
+        assert_eq!(layout.rows_of(1), &[] as &[u32]);
+        assert_eq!(layout.rows_of(3), &[] as &[u32]);
+        assert_eq!(layout.expand(&[1.0, 9.0, 3.0, 9.0]), vec![1.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn index_cache_hits_on_same_grouping() {
+        let r = rel(100);
+        let cache = QueryCache::new();
+        let a = cache.index_for(&r, &[ColumnId(0)], false);
+        let b = cache.index_for(&r, &[ColumnId(0)], false);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // A different grouping is a separate entry.
+        let c = cache.index_for(&r, &[ColumnId(0), ColumnId(1)], false);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn invalidate_drops_entries_but_keeps_counters() {
+        let r = rel(50);
+        let cache = QueryCache::new();
+        cache.index_for(&r, &[ColumnId(0)], false);
+        let _ = cache.layout_for(|| StratumLayout::build(&[0, 0, 1], 2));
+        let _ = cache.weights_for(|| Ok(vec![1.0; 3])).unwrap();
+        cache.invalidate();
+        let before = cache.stats();
+        let a = cache.index_for(&r, &[ColumnId(0)], false);
+        assert_eq!(cache.stats().misses, before.misses + 1);
+        // Re-built after invalidation, not resurrected.
+        let b = cache.index_for(&r, &[ColumnId(0)], false);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(format!("{cache:?}").contains("cached_groupings"));
+    }
+
+    #[test]
+    fn parallel_index_build_is_identical() {
+        let r = rel(10_000);
+        let cold = QueryCache::new();
+        let seq = cold.index_for(&r, &[ColumnId(0)], false);
+        let warm = QueryCache::new();
+        let par = warm.index_for(&r, &[ColumnId(0)], true);
+        assert_eq!(seq.group_ids(), par.group_ids());
+        assert_eq!(seq.keys(), par.keys());
+    }
+}

@@ -2,11 +2,11 @@
 
 use relation::Relation;
 
-use crate::aggregate::Accumulator;
 use crate::error::Result;
 use crate::grouping::GroupIndex;
 use crate::query::GroupByQuery;
 use crate::result::QueryResult;
+use crate::rewrite::{accumulate, finish_rows, masked_exprs};
 
 /// Execute `query` exactly over `rel` with a single hash-aggregation pass.
 ///
@@ -39,57 +39,14 @@ pub fn execute_exact(rel: &Relation, query: &GroupByQuery) -> Result<QueryResult
     query.validate(rel)?;
 
     let mask = query.predicate.eval(rel);
+    // Exact execution runs over the (potentially large) base table, so the
+    // group index stays predicate-filtered — selective queries then hash
+    // only qualifying rows — and aggregate inputs are evaluated only for
+    // the rows the selection bitmap keeps.
     let index = GroupIndex::build_filtered(rel, &query.grouping, Some(&mask));
-
-    // Pre-evaluate aggregate input expressions over all rows; masked rows
-    // are skipped during accumulation so the wasted work is bounded and the
-    // per-row loop stays branch-light.
-    let exprs: Vec<Option<Vec<f64>>> = query
-        .aggregates
-        .iter()
-        .map(|a| a.expr.as_ref().map(|e| e.eval(rel)).transpose())
-        .collect::<std::result::Result<_, _>>()?;
-
-    let g = index.group_count();
-    let mut accs: Vec<Vec<Accumulator>> = (0..g)
-        .map(|_| {
-            query
-                .aggregates
-                .iter()
-                .map(|a| Accumulator::new(a.func))
-                .collect()
-        })
-        .collect();
-
-    for (row, &sel) in mask.iter().enumerate() {
-        if !sel {
-            continue;
-        }
-        let gid = index.group_of(row);
-        if gid == u32::MAX {
-            continue;
-        }
-        let group_accs = &mut accs[gid as usize];
-        for (ai, acc) in group_accs.iter_mut().enumerate() {
-            let v = exprs[ai].as_ref().map_or(0.0, |vals| vals[row]);
-            acc.add(v, 1.0);
-        }
-    }
-
-    let names = query.aggregates.iter().map(|a| a.name.clone()).collect();
-    let rows = accs
-        .into_iter()
-        .enumerate()
-        .filter(|(_, group_accs)| group_accs.first().is_some_and(|a| a.rows() > 0))
-        .map(|(gid, group_accs)| {
-            (
-                index.key(gid as u32).clone(),
-                group_accs.iter().map(Accumulator::finish).collect(),
-            )
-        })
-        .collect();
-
-    query.apply_having(QueryResult::new(names, rows))
+    let exprs = masked_exprs(rel, query, &mask)?;
+    let accs = accumulate(&index, &mask, &exprs, None, query, false);
+    finish_rows(&index, accs, query)
 }
 
 #[cfg(test)]

@@ -18,10 +18,12 @@ use std::collections::HashMap;
 
 use rayon::prelude::*;
 
-use relation::{ColumnId, GroupKey, Relation};
+use relation::{Bitmap, ColumnId, GroupKey, Relation};
 
-/// Below this row count the sharded parallel build is pure overhead.
-const PAR_MIN_ROWS: usize = 4096;
+/// Below this row count sharded/chunked parallel execution is pure
+/// overhead. Shared by the parallel index build and the chunked
+/// aggregation path so the two gates stay consistent.
+pub const PAR_MIN_ROWS: usize = 4096;
 
 /// Dense group ids for every row of a relation under one grouping.
 #[derive(Debug, Clone)]
@@ -43,9 +45,9 @@ impl GroupIndex {
     /// Build the index over only the rows where `mask` is true (or all rows
     /// if `mask` is `None`). Rows excluded by the mask get group id
     /// `u32::MAX` and contribute no group.
-    pub fn build_filtered(rel: &Relation, cols: &[ColumnId], mask: Option<&[bool]>) -> GroupIndex {
+    pub fn build_filtered(rel: &Relation, cols: &[ColumnId], mask: Option<&Bitmap>) -> GroupIndex {
         let n = rel.row_count();
-        let live = |r: usize| mask.is_none_or(|m| m[r]);
+        let live = |r: usize| mask.is_none_or(|m| m.get(r));
 
         if cols.is_empty() {
             let mut group_of_row = vec![u32::MAX; n];
@@ -139,14 +141,14 @@ impl GroupIndex {
     pub fn par_build_filtered(
         rel: &Relation,
         cols: &[ColumnId],
-        mask: Option<&[bool]>,
+        mask: Option<&Bitmap>,
     ) -> GroupIndex {
         let n = rel.row_count();
         let threads = rayon::current_num_threads().max(1);
         if cols.is_empty() || threads == 1 || n < PAR_MIN_ROWS {
             return Self::build_filtered(rel, cols, mask);
         }
-        let live = |r: usize| mask.is_none_or(|m| m[r]);
+        let live = |r: usize| mask.is_none_or(|m| m.get(r));
 
         let chunk = n.div_ceil(threads);
         let ranges: Vec<(usize, usize)> = (0..threads)
@@ -354,7 +356,7 @@ mod tests {
         let r = rel();
         let cols = r.schema().column_ids(&["a", "b"]).unwrap();
         // keep only rows 0 and 3, both (x,1)
-        let mask = vec![true, false, false, true, false, false];
+        let mask = Bitmap::from_bools(&[true, false, false, true, false, false]);
         let ix = GroupIndex::build_filtered(&r, &cols, Some(&mask));
         assert_eq!(ix.group_count(), 1);
         assert_eq!(ix.group_of(1), u32::MAX);
@@ -400,6 +402,52 @@ mod tests {
         assert_eq!(ix.group_count(), 8); // c5 = i makes every row distinct
     }
 
+    #[test]
+    fn wide_fallback_matches_packed_path() {
+        // The >4-column composite-key fallback must assign exactly the
+        // same group structure as the packed-u128 path. Appending a
+        // constant fifth column leaves the grouping semantically unchanged
+        // but forces the fallback, so the two indexes must agree row for
+        // row — ids, counts, and keys (modulo the appended constant).
+        let mut b = RelationBuilder::new()
+            .column("c1", DataType::Int)
+            .column("c2", DataType::Str)
+            .column("c3", DataType::Int)
+            .column("c4", DataType::Int)
+            .column("c5", DataType::Int);
+        for i in 0..200i64 {
+            let g = (i * 31) % 17;
+            b.push_row(&[
+                Value::Int(g % 3),
+                Value::str(if g % 2 == 0 { "even" } else { "odd" }),
+                Value::Int(g % 5),
+                Value::Int(g % 7),
+                Value::Int(42), // constant: adds no grouping information
+            ])
+            .unwrap();
+        }
+        let r = b.finish();
+        let packed_cols: Vec<ColumnId> = (0..4).map(ColumnId).collect();
+        let wide_cols: Vec<ColumnId> = (0..5).map(ColumnId).collect();
+
+        let packed = GroupIndex::build(&r, &packed_cols);
+        let wide = GroupIndex::build(&r, &wide_cols);
+        assert_eq!(wide.group_count(), packed.group_count());
+        assert_eq!(wide.group_ids(), packed.group_ids());
+        assert_eq!(wide.group_sizes(), packed.group_sizes());
+        for gid in 0..packed.group_count() as u32 {
+            let w = wide.key(gid).values();
+            assert_eq!(&w[..4], packed.key(gid).values());
+            assert_eq!(w[4], Value::Int(42));
+        }
+
+        // Same agreement under a selection mask.
+        let mask = Bitmap::from_fn(r.row_count(), |i| i % 3 != 1);
+        let packed_m = GroupIndex::build_filtered(&r, &packed_cols, Some(&mask));
+        let wide_m = GroupIndex::build_filtered(&r, &wide_cols, Some(&mask));
+        assert_eq!(wide_m.group_ids(), packed_m.group_ids());
+    }
+
     /// A relation big enough to exercise the sharded parallel path
     /// (> PAR_MIN_ROWS), with group first-occurrences spread across shards.
     fn big_rel(n: usize) -> Relation {
@@ -441,7 +489,7 @@ mod tests {
     fn par_build_filtered_matches_sequential() {
         let r = big_rel(8_192);
         let cols = r.schema().column_ids(&["a", "b"]).unwrap();
-        let mask: Vec<bool> = (0..r.row_count()).map(|i| i % 3 != 0).collect();
+        let mask = Bitmap::from_fn(r.row_count(), |i| i % 3 != 0);
         let seq = GroupIndex::build_filtered(&r, &cols, Some(&mask));
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(4)

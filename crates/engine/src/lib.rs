@@ -20,6 +20,7 @@
 //! ScaleFactor reaches the aggregation operator, and therefore in cost.
 
 pub mod aggregate;
+pub mod cache;
 pub mod error;
 pub mod exec;
 pub mod grouping;
@@ -31,6 +32,7 @@ pub mod sql;
 pub mod stratified;
 
 pub use aggregate::{AggregateFn, AggregateSpec};
+pub use cache::{CacheStats, ExecOptions, QueryCache, StratumLayout};
 pub use error::{EngineError, Result};
 pub use exec::execute_exact;
 pub use grouping::GroupIndex;

@@ -4,10 +4,11 @@
 
 use relation::{Column, ColumnId, DataType, Field, Relation};
 
+use crate::cache::ExecOptions;
 use crate::error::Result;
 use crate::query::GroupByQuery;
 use crate::result::QueryResult;
-use crate::rewrite::{aggregate_weighted, SamplePlan};
+use crate::rewrite::{aggregate_weighted_opts, SamplePlan};
 use crate::stratified::StratifiedInput;
 
 /// Name of the appended ScaleFactor column.
@@ -48,13 +49,15 @@ impl SamplePlan for Integrated {
         "Integrated"
     }
 
-    fn execute(&self, query: &GroupByQuery) -> Result<QueryResult> {
+    fn execute_opts(&self, query: &GroupByQuery, opts: &ExecOptions) -> Result<QueryResult> {
+        // The per-row weights are already materialized as the SF column, so
+        // the only cacheable state is the group index itself.
         let weights = self
             .rel
             .column(self.sf_col)
             .as_float()
             .expect("SF column is Float by construction");
-        aggregate_weighted(&self.rel, weights, query)
+        aggregate_weighted_opts(&self.rel, weights, query, opts)
     }
 
     fn sample_relation(&self) -> &Relation {

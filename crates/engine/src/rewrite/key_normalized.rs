@@ -5,12 +5,13 @@
 
 use relation::{Column, ColumnId, DataType, Field, Relation};
 
+use crate::cache::{ExecOptions, StratumLayout};
 use crate::error::{EngineError, Result};
 use crate::join::hash_join_unique_int;
 use crate::query::GroupByQuery;
 use crate::result::QueryResult;
 use crate::rewrite::normalized::build_gid_aux;
-use crate::rewrite::{aggregate_weighted, SamplePlan};
+use crate::rewrite::{aggregate_weighted_opts, SamplePlan};
 use crate::stratified::StratifiedInput;
 
 /// Name of the appended GID column.
@@ -23,6 +24,9 @@ pub struct KeyNormalized {
     rel: Relation,
     aux: Relation,
     gid_col: ColumnId,
+    /// Stratum id per sample row (the GID column's values); lets a cached
+    /// [`StratumLayout`] replace the per-query GID join on the warm path.
+    stratum_of_row: Vec<u32>,
 }
 
 impl KeyNormalized {
@@ -36,7 +40,12 @@ impl KeyNormalized {
         )])?;
         let gid_col = rel.schema().column_id(GID_COLUMN)?;
         let aux = build_gid_aux(&input.scale_factors);
-        Ok(KeyNormalized { rel, aux, gid_col })
+        Ok(KeyNormalized {
+            rel,
+            aux,
+            gid_col,
+            stratum_of_row: input.stratum_of_row.clone(),
+        })
     }
 
     /// The auxiliary (GID → ScaleFactor) relation.
@@ -74,9 +83,27 @@ impl SamplePlan for KeyNormalized {
         "Key-normalized"
     }
 
-    fn execute(&self, query: &GroupByQuery) -> Result<QueryResult> {
-        let weights = self.join_scale_factors()?;
-        aggregate_weighted(&self.rel, &weights, query)
+    fn execute_opts(&self, query: &GroupByQuery, opts: &ExecOptions) -> Result<QueryResult> {
+        // Cold path: pay the single-int GID join per query (Fig 10). Warm
+        // path: the cached stratum layout expands AuxRel's SF column to the
+        // identical per-row weights without probing a hash table.
+        match opts.cache {
+            Some(cache) => {
+                let layout = cache.layout_for(|| {
+                    StratumLayout::build(&self.stratum_of_row, self.aux.row_count())
+                });
+                let weights = cache.weights_for(|| {
+                    let sf_col = self.aux.schema().column_id("__sf")?;
+                    let sfs = self.aux.column(sf_col).as_float().expect("__sf is Float");
+                    Ok(layout.expand(sfs))
+                })?;
+                aggregate_weighted_opts(&self.rel, &weights, query, opts)
+            }
+            None => {
+                let weights = self.join_scale_factors()?;
+                aggregate_weighted_opts(&self.rel, &weights, query, opts)
+            }
+        }
     }
 
     fn sample_relation(&self) -> &Relation {

@@ -27,11 +27,15 @@ pub use key_normalized::KeyNormalized;
 pub use nested_integrated::NestedIntegrated;
 pub use normalized::Normalized;
 
-use relation::Relation;
+use std::sync::Arc;
+
+use rayon::prelude::*;
+use relation::{Bitmap, ColumnId, Relation};
 
 use crate::aggregate::Accumulator;
+use crate::cache::ExecOptions;
 use crate::error::Result;
-use crate::grouping::GroupIndex;
+use crate::grouping::{GroupIndex, PAR_MIN_ROWS};
 use crate::query::GroupByQuery;
 use crate::result::QueryResult;
 
@@ -40,8 +44,17 @@ pub trait SamplePlan {
     /// Strategy name as used in the paper's tables.
     fn name(&self) -> &'static str;
 
+    /// Execute `query` against the sample with explicit execution options
+    /// (query cache, parallel aggregation). The result is bit-identical
+    /// for every option combination; options only change the cost.
+    fn execute_opts(&self, query: &GroupByQuery, opts: &ExecOptions) -> Result<QueryResult>;
+
     /// Execute `query` against the sample, producing scaled estimates.
-    fn execute(&self, query: &GroupByQuery) -> Result<QueryResult>;
+    /// Equivalent to [`Self::execute_opts`] with default (cold, serial)
+    /// options.
+    fn execute(&self, query: &GroupByQuery) -> Result<QueryResult> {
+        self.execute_opts(query, &ExecOptions::default())
+    }
 
     /// The materialized sample relation (including any SF/GID columns).
     fn sample_relation(&self) -> &Relation;
@@ -59,53 +72,127 @@ pub trait SamplePlan {
     fn rate_change_cost(&self, stratum: u32) -> usize;
 }
 
-/// Shared flat aggregation: evaluate `query` over `rel` where each row
-/// carries precomputed weight `weights[row]` (its stratum's ScaleFactor).
-///
-/// This is the execution core of Integrated, Normalized, and Key-normalized
-/// — they differ only in how `weights` is obtained.
-pub(crate) fn aggregate_weighted(
+/// Rows per aggregation chunk. Fixed (rather than derived from the thread
+/// count) so that serial and parallel execution produce *bit-identical*
+/// accumulators: both compute the same per-chunk partials and merge them in
+/// chunk order. A multiple of 64 so chunk boundaries align with bitmap
+/// words.
+pub(crate) const CHUNK_ROWS: usize = 16 * 1024;
+
+/// The *unfiltered* group index for `cols` over `rel`: from the query cache
+/// when one is supplied, freshly built otherwise. The parallel build is
+/// used above [`PAR_MIN_ROWS`] rows when `opts.parallel` is set; it yields
+/// an identical index at any thread count.
+pub(crate) fn grouping_index(
     rel: &Relation,
-    weights: &[f64],
+    cols: &[ColumnId],
+    opts: &ExecOptions,
+) -> Arc<GroupIndex> {
+    match opts.cache {
+        Some(cache) => cache.index_for(rel, cols, opts.parallel),
+        None => Arc::new(if opts.parallel && rel.row_count() >= PAR_MIN_ROWS {
+            GroupIndex::par_build(rel, cols)
+        } else {
+            GroupIndex::build(rel, cols)
+        }),
+    }
+}
+
+/// Evaluate each aggregate's input expression over the rows selected by
+/// `mask` only (satellite of the fast path: unselected rows used to be
+/// evaluated and then discarded).
+pub(crate) fn masked_exprs(
+    rel: &Relation,
     query: &GroupByQuery,
-) -> Result<QueryResult> {
-    query.validate(rel)?;
-    debug_assert_eq!(weights.len(), rel.row_count());
-
-    let mask = query.predicate.eval(rel);
-    let index = GroupIndex::build_filtered(rel, &query.grouping, Some(&mask));
-
-    let exprs: Vec<Option<Vec<f64>>> = query
+    mask: &Bitmap,
+) -> Result<Vec<Option<Vec<f64>>>> {
+    Ok(query
         .aggregates
         .iter()
-        .map(|a| a.expr.as_ref().map(|e| e.eval(rel)).transpose())
-        .collect::<std::result::Result<_, _>>()?;
-
-    let mut accs: Vec<Vec<Accumulator>> = (0..index.group_count())
-        .map(|_| {
-            query
-                .aggregates
-                .iter()
-                .map(|a| Accumulator::new(a.func))
-                .collect()
+        .map(|a| {
+            a.expr
+                .as_ref()
+                .map(|e| e.eval_masked(rel, mask))
+                .transpose()
         })
-        .collect();
+        .collect::<std::result::Result<_, _>>()?)
+}
 
-    for (row, &sel) in mask.iter().enumerate() {
-        if !sel {
-            continue;
+/// Chunked (optionally parallel) accumulation of the masked rows of `rel`
+/// into per-group accumulators.
+///
+/// Determinism contract: the row range is cut into fixed [`CHUNK_ROWS`]
+/// chunks, each chunk folds its selected rows in row order, and partials
+/// are merged in chunk order — so the result is bit-identical whether the
+/// chunks ran on one thread or sixteen. Inputs of at most one chunk take a
+/// direct single pass (which is the same computation, minus the merges).
+pub(crate) fn accumulate(
+    index: &GroupIndex,
+    mask: &Bitmap,
+    exprs: &[Option<Vec<f64>>],
+    weights: Option<&[f64]>,
+    query: &GroupByQuery,
+    parallel: bool,
+) -> Vec<Vec<Accumulator>> {
+    let n = mask.len();
+    let chunk_accs = |start: usize, end: usize| -> Vec<Vec<Accumulator>> {
+        let mut accs: Vec<Vec<Accumulator>> = (0..index.group_count())
+            .map(|_| {
+                query
+                    .aggregates
+                    .iter()
+                    .map(|a| Accumulator::new(a.func))
+                    .collect()
+            })
+            .collect();
+        for row in mask.ones_range(start, end) {
+            let gid = index.group_of(row);
+            if gid == u32::MAX {
+                continue;
+            }
+            let w = weights.map_or(1.0, |ws| ws[row]);
+            for (ai, acc) in accs[gid as usize].iter_mut().enumerate() {
+                let v = exprs[ai].as_ref().map_or(0.0, |vals| vals[row]);
+                acc.add(v, w);
+            }
         }
-        let gid = index.group_of(row);
-        if gid == u32::MAX {
-            continue;
-        }
-        let w = weights[row];
-        for (ai, acc) in accs[gid as usize].iter_mut().enumerate() {
-            let v = exprs[ai].as_ref().map_or(0.0, |vals| vals[row]);
-            acc.add(v, w);
+        accs
+    };
+
+    if n <= CHUNK_ROWS {
+        return chunk_accs(0, n);
+    }
+    let starts: Vec<usize> = (0..n).step_by(CHUNK_ROWS).collect();
+    let partials: Vec<Vec<Vec<Accumulator>>> = if parallel && rayon::current_num_threads() > 1 {
+        starts
+            .par_iter()
+            .map(|&s| chunk_accs(s, (s + CHUNK_ROWS).min(n)))
+            .collect()
+    } else {
+        starts
+            .iter()
+            .map(|&s| chunk_accs(s, (s + CHUNK_ROWS).min(n)))
+            .collect()
+    };
+    let mut iter = partials.into_iter();
+    let mut base = iter.next().expect("at least one chunk");
+    for partial in iter {
+        for (group, partial_group) in base.iter_mut().zip(partial) {
+            for (acc, p) in group.iter_mut().zip(partial_group) {
+                acc.merge(&p);
+            }
         }
     }
+    base
+}
 
+/// Turn per-group accumulators into a sorted [`QueryResult`], dropping
+/// groups with no qualifying rows and applying HAVING.
+pub(crate) fn finish_rows(
+    index: &GroupIndex,
+    accs: Vec<Vec<Accumulator>>,
+    query: &GroupByQuery,
+) -> Result<QueryResult> {
     let names = query.aggregates.iter().map(|a| a.name.clone()).collect();
     let rows = accs
         .into_iter()
@@ -119,6 +206,29 @@ pub(crate) fn aggregate_weighted(
         })
         .collect();
     query.apply_having(QueryResult::new(names, rows))
+}
+
+/// Shared flat aggregation: evaluate `query` over `rel` where each row
+/// carries precomputed weight `weights[row]` (its stratum's ScaleFactor).
+///
+/// This is the execution core of Integrated, Normalized, and Key-normalized
+/// — they differ only in how `weights` is obtained. The group index is the
+/// *unfiltered* one (cacheable across predicates); the selection bitmap is
+/// applied during accumulation instead.
+pub(crate) fn aggregate_weighted_opts(
+    rel: &Relation,
+    weights: &[f64],
+    query: &GroupByQuery,
+    opts: &ExecOptions,
+) -> Result<QueryResult> {
+    query.validate(rel)?;
+    debug_assert_eq!(weights.len(), rel.row_count());
+
+    let mask = query.predicate.eval(rel);
+    let index = grouping_index(rel, &query.grouping, opts);
+    let exprs = masked_exprs(rel, query, &mask)?;
+    let accs = accumulate(&index, &mask, &exprs, Some(weights), query, opts.parallel);
+    finish_rows(&index, accs, query)
 }
 
 #[cfg(test)]

@@ -7,11 +7,11 @@
 use relation::{Column, ColumnId, DataType, Field, GroupKey, Relation};
 
 use crate::aggregate::{Accumulator, AggregateFn};
+use crate::cache::ExecOptions;
 use crate::error::Result;
-use crate::grouping::GroupIndex;
 use crate::query::GroupByQuery;
 use crate::result::QueryResult;
-use crate::rewrite::SamplePlan;
+use crate::rewrite::{accumulate, grouping_index, masked_exprs, SamplePlan};
 use crate::stratified::StratifiedInput;
 
 /// The Nested-integrated physical layout (identical storage to
@@ -90,45 +90,22 @@ impl SamplePlan for NestedIntegrated {
         "Nested-integrated"
     }
 
-    fn execute(&self, query: &GroupByQuery) -> Result<QueryResult> {
+    fn execute_opts(&self, query: &GroupByQuery, opts: &ExecOptions) -> Result<QueryResult> {
         query.validate(&self.rel)?;
         let rel = &self.rel;
         let mask = query.predicate.eval(rel);
 
-        // Inner grouping: (query grouping columns, SF).
+        // Inner grouping: (query grouping columns, SF). The unfiltered
+        // inner index depends only on the grouping, so the cache can serve
+        // it to every predicate over the same grouping.
         let mut inner_cols = query.grouping.clone();
         inner_cols.push(self.sf_col);
-        let inner = GroupIndex::build_filtered(rel, &inner_cols, Some(&mask));
+        let inner = grouping_index(rel, &inner_cols, opts);
 
-        let exprs: Vec<Option<Vec<f64>>> = query
-            .aggregates
-            .iter()
-            .map(|a| a.expr.as_ref().map(|e| e.eval(rel)).transpose())
-            .collect::<std::result::Result<_, _>>()?;
+        let exprs = masked_exprs(rel, query, &mask)?;
 
         // Pass 1: raw (unscaled) aggregation per inner group.
-        let mut inner_accs: Vec<Vec<Accumulator>> = (0..inner.group_count())
-            .map(|_| {
-                query
-                    .aggregates
-                    .iter()
-                    .map(|a| Accumulator::new(a.func))
-                    .collect()
-            })
-            .collect();
-        for (row, &sel) in mask.iter().enumerate() {
-            if !sel {
-                continue;
-            }
-            let gid = inner.group_of(row);
-            if gid == u32::MAX {
-                continue;
-            }
-            for (ai, acc) in inner_accs[gid as usize].iter_mut().enumerate() {
-                let v = exprs[ai].as_ref().map_or(0.0, |vals| vals[row]);
-                acc.add(v, 1.0);
-            }
-        }
+        let inner_accs = accumulate(&inner, &mask, &exprs, None, query, opts.parallel);
 
         // Pass 2: scale each inner group once and merge into the outer
         // group obtained by dropping the trailing SF key value.

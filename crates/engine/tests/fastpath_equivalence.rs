@@ -1,0 +1,173 @@
+//! Fast-path equivalence: every rewrite strategy must produce *bit-identical*
+//! [`QueryResult`]s across {serial, parallel} × {cold, warm cache}.
+//!
+//! The fixture is deliberately larger than both the parallel-aggregation
+//! threshold (`PAR_MIN_ROWS`) and the chunk size (`CHUNK_ROWS` = 16·1024),
+//! so the parallel legs genuinely fan out and the chunk-merge path is
+//! exercised rather than short-circuited.
+
+use engine::{
+    AggregateSpec, ExecOptions, GroupByQuery, Integrated, KeyNormalized, NestedIntegrated,
+    Normalized, QueryCache, SamplePlan, StratifiedInput,
+};
+use relation::{ColumnId, DataType, Expr, GroupKey, Predicate, RelationBuilder, Value};
+
+/// Deterministic pseudo-random stratified sample: `rows` tuples over
+/// `strata` strata (stratified on column `g`), with mixed scale factors.
+fn big_sample(rows: usize, strata: usize) -> StratifiedInput {
+    let mut b = RelationBuilder::new()
+        .column("g", DataType::Int)
+        .column("h", DataType::Int)
+        .column("v", DataType::Float);
+    let mut stratum_of_row = Vec::with_capacity(rows);
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    for _ in 0..rows {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let g = ((state >> 33) as usize) % strata;
+        let h = ((state >> 17) as usize) % 7;
+        let v = ((state >> 11) % 10_000) as f64 / 100.0;
+        b.push_row(&[Value::Int(g as i64), Value::Int(h as i64), Value::from(v)])
+            .unwrap();
+        stratum_of_row.push(g as u32);
+    }
+    StratifiedInput {
+        rows: b.finish(),
+        stratum_of_row,
+        scale_factors: (0..strata).map(|s| 1.0 + (s % 9) as f64 * 0.5).collect(),
+        strata_keys: (0..strata)
+            .map(|s| GroupKey::new(vec![Value::Int(s as i64)]))
+            .collect(),
+        grouping_columns: vec![ColumnId(0)],
+    }
+}
+
+fn plans(s: &StratifiedInput) -> Vec<Box<dyn SamplePlan>> {
+    vec![
+        Box::new(Integrated::build(s).unwrap()),
+        Box::new(NestedIntegrated::build(s).unwrap()),
+        Box::new(Normalized::build(s).unwrap()),
+        Box::new(KeyNormalized::build(s).unwrap()),
+    ]
+}
+
+fn queries() -> Vec<GroupByQuery> {
+    let v = Expr::col(ColumnId(2));
+    vec![
+        GroupByQuery::new(
+            vec![ColumnId(0)],
+            vec![
+                AggregateSpec::sum(v.clone(), "s"),
+                AggregateSpec::count("c"),
+                AggregateSpec::avg(v.clone(), "a"),
+            ],
+        ),
+        // Selective predicate: exercises masked evaluation + bitmap ops.
+        GroupByQuery::new(
+            vec![ColumnId(0), ColumnId(1)],
+            vec![AggregateSpec::sum(v.clone(), "s")],
+        )
+        .with_predicate(Predicate::ge(ColumnId(2), 75.0)),
+        GroupByQuery::new(
+            vec![ColumnId(1)],
+            vec![
+                AggregateSpec::avg(v.clone(), "a"),
+                AggregateSpec::min(v.clone(), "mn"),
+                AggregateSpec::max(v.clone(), "mx"),
+            ],
+        ),
+        // Scalar (no grouping).
+        GroupByQuery::new(
+            vec![],
+            vec![AggregateSpec::sum(v, "s"), AggregateSpec::count("c")],
+        ),
+    ]
+}
+
+#[test]
+fn strategies_bit_identical_across_modes_and_cache_states() {
+    let s = big_sample(40_000, 20);
+    for plan in plans(&s) {
+        let cache = QueryCache::new();
+        for q in queries() {
+            let cold_serial = plan.execute_opts(&q, &ExecOptions::default()).unwrap();
+            let cold_parallel = plan
+                .execute_opts(
+                    &q,
+                    &ExecOptions {
+                        cache: None,
+                        parallel: true,
+                    },
+                )
+                .unwrap();
+            // First cached execution populates the cache (cold-with-cache),
+            // second hits it (warm).
+            let warm_serial = plan
+                .execute_opts(
+                    &q,
+                    &ExecOptions {
+                        cache: Some(&cache),
+                        parallel: false,
+                    },
+                )
+                .unwrap();
+            let warm_parallel = plan
+                .execute_opts(
+                    &q,
+                    &ExecOptions {
+                        cache: Some(&cache),
+                        parallel: true,
+                    },
+                )
+                .unwrap();
+            assert!(
+                !cold_serial.is_empty(),
+                "{}: fixture query empty",
+                plan.name()
+            );
+            assert_eq!(
+                cold_serial,
+                cold_parallel,
+                "{}: serial vs parallel",
+                plan.name()
+            );
+            assert_eq!(cold_serial, warm_serial, "{}: cold vs warm", plan.name());
+            assert_eq!(
+                cold_serial,
+                warm_parallel,
+                "{}: cold vs warm parallel",
+                plan.name()
+            );
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.hits > 0,
+            "{}: cache never hit (hits={}, misses={})",
+            plan.name(),
+            stats.hits,
+            stats.misses
+        );
+    }
+}
+
+#[test]
+fn warm_cache_results_survive_repeated_execution() {
+    // Repeated warm executions must be stable (no accumulation of state in
+    // the cache that could drift results).
+    let s = big_sample(20_000, 8);
+    let plan = Integrated::build(&s).unwrap();
+    let cache = QueryCache::new();
+    let q = GroupByQuery::new(
+        vec![ColumnId(0)],
+        vec![AggregateSpec::avg(Expr::col(ColumnId(2)), "a")],
+    );
+    let opts = ExecOptions {
+        cache: Some(&cache),
+        parallel: true,
+    };
+    let first = plan.execute_opts(&q, &opts).unwrap();
+    for _ in 0..5 {
+        assert_eq!(first, plan.execute_opts(&q, &opts).unwrap());
+    }
+}

@@ -1,0 +1,314 @@
+//! Packed selection bitmaps.
+//!
+//! Predicates evaluate to one bit per row rather than one `bool` byte:
+//! 64 rows per word means boolean combinators (AND/OR/NOT) run word-at-a-
+//! time, and downstream consumers iterate only the *set* bits instead of
+//! branching on every row. The invariant maintained throughout is that
+//! bits at positions `>= len` are zero, so `count_ones`, equality, and
+//! word-wise combinators never see garbage in the trailing word.
+
+use std::fmt;
+
+/// A fixed-length bitmap over row indices `0..len`, packed into `u64` words.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-false bitmap of `len` bits.
+    pub fn new_false(len: usize) -> Bitmap {
+        Bitmap {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// All-true bitmap of `len` bits.
+    pub fn new_true(len: usize) -> Bitmap {
+        let mut b = Bitmap {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// Build from a per-index closure (the vectorized-evaluation entry
+    /// point: the closure is inlined into the packing loop).
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Bitmap {
+        let mut words = vec![0u64; len.div_ceil(64)];
+        for (w, word) in words.iter_mut().enumerate() {
+            let base = w * 64;
+            let top = 64.min(len - base);
+            let mut acc = 0u64;
+            for bit in 0..top {
+                acc |= u64::from(f(base + bit)) << bit;
+            }
+            *word = acc;
+        }
+        Bitmap { words, len }
+    }
+
+    /// Build from an unpacked boolean slice.
+    pub fn from_bools(bools: &[bool]) -> Bitmap {
+        Bitmap::from_fn(bools.len(), |i| bools[i])
+    }
+
+    /// Unpack to one `bool` per bit (test/debug convenience).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the bitmap covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit at `index`.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        debug_assert!(index < self.len);
+        (self.words[index >> 6] >> (index & 63)) & 1 != 0
+    }
+
+    /// Set bit `index` to `value`.
+    #[inline]
+    pub fn set(&mut self, index: usize, value: bool) {
+        debug_assert!(index < self.len);
+        let mask = 1u64 << (index & 63);
+        if value {
+            self.words[index >> 6] |= mask;
+        } else {
+            self.words[index >> 6] &= !mask;
+        }
+    }
+
+    /// Word-wise `self &= other`. Lengths must match.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Word-wise `self |= other`. Lengths must match.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Word-wise `self = !self`, keeping trailing bits zero.
+    pub fn not_assign(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when at least one bit is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// `true` when every bit is set (vacuously true for an empty bitmap).
+    pub fn all(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Iterator over set-bit indices, ascending.
+    pub fn ones(&self) -> Ones<'_> {
+        self.ones_range(0, self.len)
+    }
+
+    /// Iterator over set-bit indices within `start..end`, ascending.
+    pub fn ones_range(&self, start: usize, end: usize) -> Ones<'_> {
+        debug_assert!(start <= end && end <= self.len);
+        let first_word = start >> 6;
+        let current = match self.words.get(first_word) {
+            Some(&w) => w & (!0u64 << (start & 63)),
+            None => 0,
+        };
+        Ones {
+            words: &self.words,
+            next_word: first_word + 1,
+            end_word: end.div_ceil(64).min(self.words.len()),
+            current,
+            base: first_word * 64,
+            end,
+        }
+    }
+
+    /// The packed words (trailing bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len & 63;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitmap({}/{} set)", self.count_ones(), self.len)
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Bitmap {
+        let bools: Vec<bool> = iter.into_iter().collect();
+        Bitmap::from_bools(&bools)
+    }
+}
+
+/// Iterator over the set bits of a [`Bitmap`] (see [`Bitmap::ones`]).
+pub struct Ones<'a> {
+    words: &'a [u64],
+    next_word: usize,
+    end_word: usize,
+    current: u64,
+    base: usize,
+    end: usize,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let index = self.base + self.current.trailing_zeros() as usize;
+                if index >= self.end {
+                    return None;
+                }
+                self.current &= self.current - 1;
+                return Some(index);
+            }
+            if self.next_word >= self.end_word {
+                return None;
+            }
+            self.current = self.words[self.next_word];
+            self.base = self.next_word * 64;
+            self.next_word += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_get() {
+        let b = Bitmap::new_false(70);
+        assert_eq!(b.len(), 70);
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.any());
+        let t = Bitmap::new_true(70);
+        assert_eq!(t.count_ones(), 70);
+        assert!(t.all() && t.any());
+        assert!(t.get(0) && t.get(63) && t.get(64) && t.get(69));
+        // Trailing bits stay zero so the word view is canonical.
+        assert_eq!(t.words()[1] >> 6, 0);
+    }
+
+    #[test]
+    fn set_and_from_fn_agree() {
+        let n = 131;
+        let mut manual = Bitmap::new_false(n);
+        for i in (0..n).filter(|i| i % 3 == 0) {
+            manual.set(i, true);
+        }
+        let packed = Bitmap::from_fn(n, |i| i % 3 == 0);
+        assert_eq!(manual, packed);
+        manual.set(0, false);
+        assert_ne!(manual, packed);
+        assert!(!manual.get(0));
+    }
+
+    #[test]
+    fn boolean_ops_match_scalar() {
+        let n = 200;
+        let a = Bitmap::from_fn(n, |i| i % 2 == 0);
+        let b = Bitmap::from_fn(n, |i| i % 3 == 0);
+        let mut and = a.clone();
+        and.and_assign(&b);
+        let mut or = a.clone();
+        or.or_assign(&b);
+        let mut not = a.clone();
+        not.not_assign();
+        for i in 0..n {
+            assert_eq!(and.get(i), a.get(i) && b.get(i));
+            assert_eq!(or.get(i), a.get(i) || b.get(i));
+            assert_eq!(not.get(i), !a.get(i));
+        }
+        // NOT keeps the tail canonical: double negation round-trips.
+        let mut back = not.clone();
+        back.not_assign();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn ones_iterates_set_bits_in_order() {
+        let n = 150;
+        let b = Bitmap::from_fn(n, |i| i % 7 == 0 || i == 149);
+        let got: Vec<usize> = b.ones().collect();
+        let want: Vec<usize> = (0..n).filter(|&i| i % 7 == 0 || i == 149).collect();
+        assert_eq!(got, want);
+        assert_eq!(b.count_ones(), want.len());
+    }
+
+    #[test]
+    fn ones_range_respects_bounds() {
+        let n = 300;
+        let b = Bitmap::from_fn(n, |i| i % 5 == 0);
+        for (start, end) in [(0, 0), (0, 300), (13, 200), (64, 128), (63, 65), (295, 300)] {
+            let got: Vec<usize> = b.ones_range(start, end).collect();
+            let want: Vec<usize> = (start..end).filter(|&i| i % 5 == 0).collect();
+            assert_eq!(got, want, "range {start}..{end}");
+        }
+    }
+
+    #[test]
+    fn empty_bitmap_is_sane() {
+        let b = Bitmap::new_true(0);
+        assert!(b.is_empty() && !b.any() && b.all());
+        assert_eq!(b.ones().count(), 0);
+        assert_eq!(b.to_bools(), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn bools_round_trip() {
+        let bools = vec![true, false, true, true, false];
+        let b = Bitmap::from_bools(&bools);
+        assert_eq!(b.to_bools(), bools);
+        let collected: Bitmap = bools.iter().copied().collect();
+        assert_eq!(collected, b);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let b = Bitmap::from_fn(10, |i| i < 3);
+        assert_eq!(format!("{b:?}"), "Bitmap(3/10 set)");
+    }
+}

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod binio;
+pub mod bitmap;
 pub mod column;
 pub mod csv;
 pub mod datatype;
@@ -43,6 +44,7 @@ pub mod relation;
 pub mod schema;
 pub mod value;
 
+pub use bitmap::Bitmap;
 pub use column::Column;
 pub use csv::{parse_csv, read_csv, CsvOptions};
 pub use datatype::DataType;

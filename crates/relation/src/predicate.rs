@@ -9,6 +9,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::bitmap::Bitmap;
 use crate::column::Column;
 use crate::error::Result;
 use crate::relation::Relation;
@@ -163,53 +164,39 @@ impl Predicate {
         }
     }
 
-    /// Evaluate over the whole relation into a selection bitmap.
+    /// Evaluate over the whole relation into a packed selection bitmap.
     ///
     /// Single-column comparisons take a vectorized fast path over the raw
-    /// column storage; boolean combinators combine child bitmaps.
-    pub fn eval(&self, rel: &Relation) -> Vec<bool> {
+    /// column storage; boolean combinators combine child bitmaps word-wise.
+    pub fn eval(&self, rel: &Relation) -> Bitmap {
         match self {
-            Predicate::True => vec![true; rel.row_count()],
+            Predicate::True => Bitmap::new_true(rel.row_count()),
             Predicate::Cmp { col, op, value } => eval_cmp_vectorized(rel.column(*col), *op, value)
-                .unwrap_or_else(|| {
-                    (0..rel.row_count())
-                        .map(|r| self.eval_row(rel, r))
-                        .collect()
-                }),
+                .unwrap_or_else(|| Bitmap::from_fn(rel.row_count(), |r| self.eval_row(rel, r))),
             Predicate::Between { col, lo, hi } => {
-                let mut a = eval_cmp_vectorized(rel.column(*col), CmpOp::Ge, lo);
+                let a = eval_cmp_vectorized(rel.column(*col), CmpOp::Ge, lo);
                 let b = eval_cmp_vectorized(rel.column(*col), CmpOp::Le, hi);
-                match (&mut a, b) {
-                    (Some(a), Some(b)) => {
-                        for (x, y) in a.iter_mut().zip(b) {
-                            *x &= y;
-                        }
-                        a.clone()
+                match (a, b) {
+                    (Some(mut a), Some(b)) => {
+                        a.and_assign(&b);
+                        a
                     }
-                    _ => (0..rel.row_count())
-                        .map(|r| self.eval_row(rel, r))
-                        .collect(),
+                    _ => Bitmap::from_fn(rel.row_count(), |r| self.eval_row(rel, r)),
                 }
             }
             Predicate::And(a, b) => {
                 let mut m = a.eval(rel);
-                for (x, y) in m.iter_mut().zip(b.eval(rel)) {
-                    *x &= y;
-                }
+                m.and_assign(&b.eval(rel));
                 m
             }
             Predicate::Or(a, b) => {
                 let mut m = a.eval(rel);
-                for (x, y) in m.iter_mut().zip(b.eval(rel)) {
-                    *x |= y;
-                }
+                m.or_assign(&b.eval(rel));
                 m
             }
             Predicate::Not(a) => {
                 let mut m = a.eval(rel);
-                for x in m.iter_mut() {
-                    *x = !*x;
-                }
+                m.not_assign();
                 m
             }
         }
@@ -217,11 +204,7 @@ impl Predicate {
 
     /// Row indices satisfying the predicate.
     pub fn selected_rows(&self, rel: &Relation) -> Vec<usize> {
-        self.eval(rel)
-            .into_iter()
-            .enumerate()
-            .filter_map(|(i, b)| b.then_some(i))
-            .collect()
+        self.eval(rel).ones().collect()
     }
 
     /// Fraction of rows satisfying the predicate.
@@ -229,8 +212,7 @@ impl Predicate {
         if rel.row_count() == 0 {
             return 0.0;
         }
-        let n = self.eval(rel).iter().filter(|&&b| b).count();
-        n as f64 / rel.row_count() as f64
+        self.eval(rel).count_ones() as f64 / rel.row_count() as f64
     }
 
     /// Validate that every referenced column exists in the schema.
@@ -261,53 +243,48 @@ fn cmp_values(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
     }
 }
 
-/// Vectorized comparison over raw column storage. Returns `None` when the
-/// literal's type is incompatible with the column (the caller falls back to
-/// the row-at-a-time path, which yields all-false for such predicates).
-fn eval_cmp_vectorized(col: &Column, op: CmpOp, value: &Value) -> Option<Vec<bool>> {
+/// Vectorized comparison over raw column storage, packed straight into a
+/// [`Bitmap`]. Returns `None` when the literal's type is incompatible with
+/// the column (the caller falls back to the row-at-a-time path, which
+/// yields all-false for such predicates).
+fn eval_cmp_vectorized(col: &Column, op: CmpOp, value: &Value) -> Option<Bitmap> {
     match (col, value) {
         (Column::Int(v), _) => {
             let lit = value.as_f64()?;
-            Some(
-                v.iter()
-                    .map(|&x| op.apply((x as f64).total_cmp(&lit)))
-                    .collect(),
-            )
+            Some(Bitmap::from_fn(v.len(), |r| {
+                op.apply((v[r] as f64).total_cmp(&lit))
+            }))
         }
         (Column::Float(v), _) => {
             let lit = value.as_f64()?;
-            Some(v.iter().map(|&x| op.apply(x.total_cmp(&lit))).collect())
+            Some(Bitmap::from_fn(v.len(), |r| op.apply(v[r].total_cmp(&lit))))
         }
         (Column::Date(v), _) => {
             let lit = value.as_f64()?;
-            Some(
-                v.iter()
-                    .map(|&x| op.apply((x as f64).total_cmp(&lit)))
-                    .collect(),
-            )
+            Some(Bitmap::from_fn(v.len(), |r| {
+                op.apply((v[r] as f64).total_cmp(&lit))
+            }))
         }
         (Column::Str(v), Value::Str(s)) => {
             // Equality on dictionary columns compares codes.
             match op {
-                CmpOp::Eq => {
-                    let code = v.lookup(s);
-                    Some(match code {
-                        Some(c) => v.codes().iter().map(|&x| x == c).collect(),
-                        None => vec![false; v.len()],
-                    })
-                }
-                CmpOp::Ne => {
-                    let code = v.lookup(s);
-                    Some(match code {
-                        Some(c) => v.codes().iter().map(|&x| x != c).collect(),
-                        None => vec![true; v.len()],
-                    })
-                }
-                _ => Some(
-                    (0..v.len())
-                        .map(|r| op.apply(v.get(r).as_ref().cmp(s)))
-                        .collect(),
-                ),
+                CmpOp::Eq => Some(match v.lookup(s) {
+                    Some(c) => {
+                        let codes = v.codes();
+                        Bitmap::from_fn(v.len(), |r| codes[r] == c)
+                    }
+                    None => Bitmap::new_false(v.len()),
+                }),
+                CmpOp::Ne => Some(match v.lookup(s) {
+                    Some(c) => {
+                        let codes = v.codes();
+                        Bitmap::from_fn(v.len(), |r| codes[r] != c)
+                    }
+                    None => Bitmap::new_true(v.len()),
+                }),
+                _ => Some(Bitmap::from_fn(v.len(), |r| {
+                    op.apply(v.get(r).as_ref().cmp(s))
+                })),
             }
         }
         (Column::Str(_), _) => None,
@@ -362,7 +339,7 @@ mod tests {
     fn cmp_int_range() {
         let r = rel();
         let p = Predicate::between(ColumnId(0), 2i64, 4i64);
-        assert_eq!(p.eval(&r), vec![false, true, true, true, false]);
+        assert_eq!(p.eval(&r).to_bools(), vec![false, true, true, true, false]);
         assert_eq!(p.selected_rows(&r), vec![1, 2, 3]);
         assert!((p.selectivity(&r) - 0.6).abs() < 1e-12);
     }
@@ -371,24 +348,24 @@ mod tests {
     fn str_equality_uses_dictionary() {
         let r = rel();
         let p = Predicate::eq(ColumnId(1), "N");
-        assert_eq!(p.eval(&r), vec![false, true, true, false, false]);
+        assert_eq!(p.eval(&r).to_bools(), vec![false, true, true, false, false]);
         // Unknown string matches nothing.
         let p = Predicate::eq(ColumnId(1), "ZZZ");
-        assert_eq!(p.eval(&r), vec![false; 5]);
+        assert_eq!(p.eval(&r).to_bools(), vec![false; 5]);
         // Ne of unknown string matches everything.
         let p = Predicate::Cmp {
             col: ColumnId(1),
             op: CmpOp::Ne,
             value: Value::str("ZZZ"),
         };
-        assert_eq!(p.eval(&r), vec![true; 5]);
+        assert_eq!(p.eval(&r).to_bools(), vec![true; 5]);
     }
 
     #[test]
     fn str_range_lexicographic() {
         let r = rel();
         let p = Predicate::le(ColumnId(1), "M"); // only "A" <= "M"
-        assert_eq!(p.eval(&r), vec![true, false, false, false, true]);
+        assert_eq!(p.eval(&r).to_bools(), vec![true, false, false, false, true]);
     }
 
     #[test]
@@ -426,7 +403,7 @@ mod tests {
             Predicate::ge(ColumnId(2), 30.0).and(Predicate::eq(ColumnId(1), "R").not()),
         ];
         for p in preds {
-            let vectorized = p.eval(&r);
+            let vectorized = p.eval(&r).to_bools();
             let scalar: Vec<bool> = (0..r.row_count()).map(|i| p.eval_row(&r, i)).collect();
             assert_eq!(vectorized, scalar, "mismatch for {p}");
         }
@@ -437,7 +414,7 @@ mod tests {
         let r = rel();
         // string literal against int column
         let p = Predicate::eq(ColumnId(0), "x");
-        assert_eq!(p.eval(&r), vec![false; 5]);
+        assert_eq!(p.eval(&r).to_bools(), vec![false; 5]);
     }
 
     #[test]

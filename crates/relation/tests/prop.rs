@@ -79,7 +79,7 @@ proptest! {
             Predicate::Cmp { col: ColumnId(3), op, value: Value::Date(date_lit) },
         ];
         for p in preds {
-            let vectorized = p.eval(&rel);
+            let vectorized = p.eval(&rel).to_bools();
             let scalar: Vec<bool> = (0..rel.row_count()).map(|r| p.eval_row(&rel, r)).collect();
             prop_assert_eq!(vectorized, scalar, "mismatch for {}", p);
         }
@@ -101,9 +101,9 @@ proptest! {
         let ea = a.eval(&rel);
         let eb = b.eval(&rel);
         for r in 0..rel.row_count() {
-            prop_assert_eq!(and[r], ea[r] && eb[r]);
-            prop_assert_eq!(or[r], ea[r] || eb[r]);
-            prop_assert_eq!(na[r], !ea[r]);
+            prop_assert_eq!(and.get(r), ea.get(r) && eb.get(r));
+            prop_assert_eq!(or.get(r), ea.get(r) || eb.get(r));
+            prop_assert_eq!(na.get(r), !ea.get(r));
         }
     }
 
@@ -119,7 +119,7 @@ proptest! {
         let selected = p.selected_rows(&rel);
         let filtered = rel.gather(&selected);
         prop_assert_eq!(filtered.row_count(), selected.len());
-        prop_assert!(p.eval(&filtered).iter().all(|&x| x));
+        prop_assert!(p.eval(&filtered).all());
         prop_assert_eq!(p.selected_rows(&filtered).len(), filtered.row_count());
     }
 
