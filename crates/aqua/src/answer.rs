@@ -8,7 +8,11 @@ use std::sync::Arc;
 use congress::bounds::{
     avg_bound_hoeffding, stratified_avg_bound, stratified_sum_bound, ErrorBound, Moments,
 };
-use engine::{AggregateFn, GroupByQuery, GroupIndex, QueryCache, QueryResult, StratifiedInput};
+use engine::rewrite::measure_key;
+use engine::{
+    AggregateFn, GroupByQuery, GroupIndex, QueryCache, QueryResult, StratifiedInput, StratumCell,
+    StratumSummary,
+};
 use relation::GroupKey;
 
 use crate::error::Result;
@@ -122,6 +126,17 @@ pub fn compute_bounds_cached(
     cache: Option<&QueryCache>,
 ) -> Result<Vec<GroupBounds>> {
     let rel = &input.rows;
+
+    // O(groups) fast path: when the predicate is determined by the grouping
+    // columns alone, every surviving result group is fully selected, so
+    // cached per-(group, stratum) moment cells reproduce the scan's
+    // moments exactly — no row scan, no masked evaluation.
+    if let Some(cache) = cache {
+        if rel.row_count() > 0 && query.predicate.references_only(&query.grouping) {
+            return bounds_from_summaries(input, query, result, confidence, cache);
+        }
+    }
+
     let mask = query.predicate.eval(rel);
     // Group rows by the *query's* grouping (not the strata grouping).
     let index: Arc<GroupIndex> = match cache {
@@ -172,10 +187,17 @@ pub fn compute_bounds_cached(
         }
     }
 
-    // Assemble per result group.
+    // Assemble per result group. Sort each group's strata by stratum id:
+    // the bound formulas fold floating-point terms in vec order, and the
+    // HashMap above iterates in a random order, so without the sort two
+    // identical calls could disagree in the last bits (and the scan path
+    // would not match the summary path, which is id-sorted by build).
     let mut per_group: HashMap<u32, Vec<(u32, Cell)>> = HashMap::new();
     for ((g, s), cell) in cells {
         per_group.entry(g).or_default().push((s, cell));
+    }
+    for strata in per_group.values_mut() {
+        strata.sort_unstable_by_key(|&(s, _)| s);
     }
     // Map result keys back to index group ids.
     let mut key_to_gid: HashMap<&GroupKey, u32> = HashMap::new();
@@ -215,6 +237,116 @@ pub fn compute_bounds_cached(
                             let sf = input.scale_factors[*s as usize];
                             let pop = (sf * cell.3 as f64).round() as u64;
                             (cell.1[ai], sf, pop.max(cell.3))
+                        })
+                        .collect();
+                    if parts.len() == 1 {
+                        Some(avg_bound_hoeffding(&parts[0].0, confidence))
+                    } else {
+                        Some(stratified_avg_bound(&parts, confidence))
+                    }
+                }
+                AggregateFn::Min | AggregateFn::Max => None,
+            };
+            bounds.push(bound);
+        }
+        out.push(GroupBounds {
+            key: key.clone(),
+            bounds,
+        });
+    }
+    Ok(out)
+}
+
+/// Bounds served from cached [`StratumSummary`] tables — the O(groups)
+/// path for predicates over the grouping columns alone (including no
+/// predicate at all).
+///
+/// Bit-identity with the scan path: every result group is fully selected
+/// (group-determined predicates drop excluded groups from `result`
+/// entirely), so the scan's indicator moments over *all* tuples equal its
+/// moments over *selected* tuples equal the cached cells, which
+/// [`StratumSummary::build`] folds in the same row order with the same
+/// float operations as `Moments::push`. Both paths then combine strata
+/// sorted by stratum id, so even the fold order of the bound formulas
+/// matches.
+fn bounds_from_summaries(
+    input: &StratifiedInput,
+    query: &GroupByQuery,
+    result: &QueryResult,
+    confidence: f64,
+    cache: &QueryCache,
+) -> Result<Vec<GroupBounds>> {
+    let rel = &input.rows;
+    let index = cache.index_for(rel, &query.grouping, false);
+    let aggs = query.aggregates.len();
+
+    // One cached per-(group, stratum) moment table per bounded aggregate
+    // (MIN/MAX have no distribution-free bound and need no table).
+    let mut tables: Vec<Option<Arc<StratumSummary>>> = Vec::with_capacity(aggs);
+    for spec in &query.aggregates {
+        let table = match spec.func {
+            AggregateFn::Min | AggregateFn::Max => None,
+            _ => Some(cache.stratum_summary_for(
+                &query.grouping,
+                &measure_key(spec.expr.as_ref()),
+                || {
+                    let values = spec.expr.as_ref().map(|e| e.eval(rel)).transpose()?;
+                    Ok(StratumSummary::build(
+                        &index,
+                        &input.stratum_of_row,
+                        values.as_deref(),
+                    ))
+                },
+            )?),
+        };
+        tables.push(table);
+    }
+
+    let mut key_to_gid: HashMap<&GroupKey, u32> = HashMap::new();
+    for gid in 0..index.group_count() as u32 {
+        key_to_gid.insert(index.key(gid), gid);
+    }
+
+    let moments = |cell: &StratumCell| Moments {
+        n: cell.count,
+        sum: cell.sum,
+        sum_sq: cell.sum_sq,
+        min: cell.min,
+        max: cell.max,
+    };
+
+    let mut out = Vec::with_capacity(result.group_count());
+    for (key, _) in result.iter() {
+        let Some(&gid) = key_to_gid.get(key) else {
+            out.push(GroupBounds {
+                key: key.clone(),
+                bounds: vec![None; aggs],
+            });
+            continue;
+        };
+        let mut bounds = Vec::with_capacity(aggs);
+        for (ai, spec) in query.aggregates.iter().enumerate() {
+            let bound = match spec.func {
+                AggregateFn::Sum | AggregateFn::Count => {
+                    let strata = tables[ai].as_ref().expect("table built").strata_of(gid);
+                    let parts: Vec<(Moments, f64, u64)> = strata
+                        .iter()
+                        .map(|(s, cell)| {
+                            let sf = input.scale_factors[*s as usize];
+                            let pop = (sf * cell.count as f64).round() as u64;
+                            (moments(cell), sf, pop.max(cell.count))
+                        })
+                        .collect();
+                    Some(stratified_sum_bound(&parts, confidence))
+                }
+                AggregateFn::Avg => {
+                    let strata = tables[ai].as_ref().expect("table built").strata_of(gid);
+                    let parts: Vec<(Moments, f64, u64)> = strata
+                        .iter()
+                        .map(|(s, cell)| {
+                            let sf = input.scale_factors[*s as usize];
+                            let pop = (sf * cell.count as f64).round() as u64;
+                            (moments(cell), sf, pop.max(cell.count))
                         })
                         .collect();
                     if parts.len() == 1 {

@@ -228,7 +228,13 @@ impl Synopsis {
         self.input.as_ref()
     }
 
-    /// The memoized query-serving cache for the current plan generation.
+    /// The memoized query-serving cache for the current plan generation:
+    /// group indexes, per-group measure summaries and per-(group, stratum)
+    /// moment cells (the O(groups) answer path), stratum layout, and
+    /// per-row weights. Every mutation of the backing sample — [`Self::
+    /// ingest`], [`Self::refresh`], [`Self::rebuild_bulk`] — invalidates
+    /// the whole cache, so summary-served answers can never outlive the
+    /// sample generation they were folded from.
     pub fn query_cache(&self) -> &QueryCache {
         &self.cache
     }

@@ -235,9 +235,22 @@ impl Aqua {
         synopsis.refresh(table)
     }
 
+    /// Refresh the synopsis if stale, with double-checked locking: the
+    /// staleness probe under the read lock is cheap and concurrent, and
+    /// the re-check under the write lock ensures that when many clients
+    /// race past a stale probe, only the first refreshes (a refresh
+    /// invalidates the query cache, so redundant refreshes would throw
+    /// away a freshly warmed cache for nothing).
     fn refresh_if_stale(&self) -> Result<()> {
-        if self.inner.read().synopsis.is_stale() {
-            self.refresh()?;
+        if !self.inner.read().synopsis.is_stale() {
+            return Ok(());
+        }
+        let mut inner = self.inner.write();
+        if inner.synopsis.is_stale() {
+            let Inner {
+                table, synopsis, ..
+            } = &mut *inner;
+            synopsis.refresh(table)?;
         }
         Ok(())
     }

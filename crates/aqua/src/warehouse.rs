@@ -384,7 +384,10 @@ impl Warehouse {
 
     /// Insert tuples into the named relation (synopsis maintained
     /// incrementally for sampled relations; degraded relations grow their
-    /// base table). Not durable — see [`Self::insert_logged`].
+    /// base table). Not durable — see [`Self::insert_logged`]. Routing
+    /// through [`Aqua::insert_batch`] also invalidates the relation's
+    /// query cache (indexes and aggregate summaries), so subsequent
+    /// answers are served from post-insert state.
     pub fn insert(&self, name: &str, rows: &[Vec<Value>]) -> Result<()> {
         match self.serving(name)? {
             Serving::Sampled(aqua) => aqua.insert_batch(rows),
@@ -395,7 +398,10 @@ impl Warehouse {
     /// Insert tuples *durably*: the batch is appended to the relation's
     /// write-ahead log (length + CRC32C framed) before being applied in
     /// memory, so a crash before the next [`Self::save_all`] loses
-    /// nothing — [`Self::open`] replays the log.
+    /// nothing — [`Self::open`] replays the log. The in-memory apply goes
+    /// through the same ingest path as [`Self::insert`], so WAL inserts
+    /// invalidate cached indexes/summaries exactly like plain ones; a
+    /// replay on `open` starts from a fresh (empty) cache anyway.
     pub fn insert_logged(
         &self,
         store: &dyn SnapshotStore,

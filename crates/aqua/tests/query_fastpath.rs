@@ -48,8 +48,34 @@ fn queries() -> Vec<GroupByQuery> {
         ),
         GroupByQuery::new(vec![ColumnId(0)], vec![AggregateSpec::count("c")])
             .with_predicate(Predicate::ge(ColumnId(1), 25.0)),
-        GroupByQuery::new(vec![], vec![AggregateSpec::sum(amount, "s")]),
+        GroupByQuery::new(vec![], vec![AggregateSpec::sum(amount.clone(), "s")]),
+        // Group-only predicate: eligible for the cached-summary fast path,
+        // which must agree bit-for-bit with the scan path.
+        GroupByQuery::new(
+            vec![ColumnId(0)],
+            vec![
+                AggregateSpec::sum(amount.clone(), "s"),
+                AggregateSpec::avg(amount, "a"),
+                AggregateSpec::count("c"),
+            ],
+        )
+        .with_predicate(Predicate::eq(ColumnId(0), Value::str("west")).not().not()),
     ]
+}
+
+/// Assert two answers carry bit-identical error bounds (same groups, same
+/// per-aggregate half-widths).
+fn assert_bounds_identical(a: &aqua::ApproximateAnswer, b: &aqua::ApproximateAnswer, ctx: &str) {
+    assert_eq!(a.bounds.len(), b.bounds.len(), "{ctx}: bound group count");
+    for (ga, gb) in a.bounds.iter().zip(&b.bounds) {
+        assert_eq!(ga.key, gb.key, "{ctx}: bound key order");
+        assert_eq!(ga.bounds.len(), gb.bounds.len(), "{ctx}: agg arity");
+        for (ba, bb) in ga.bounds.iter().zip(&gb.bounds) {
+            let wa = ba.as_ref().map(|e| e.half_width.to_bits());
+            let wb = bb.as_ref().map(|e| e.half_width.to_bits());
+            assert_eq!(wa, wb, "{ctx}: half-width for {:?}", ga.key);
+        }
+    }
 }
 
 #[test]
@@ -63,6 +89,7 @@ fn warm_answers_identical_to_cold_for_every_rewrite() {
             for _ in 0..3 {
                 let warm = aqua.answer(&q).unwrap();
                 assert_eq!(cold.result, warm.result, "{}", rewrite.name());
+                assert_bounds_identical(&cold, &warm, rewrite.name());
             }
         }
     }
@@ -78,6 +105,7 @@ fn parallelism_does_not_change_answers() {
             let a = serial.answer(&q).unwrap();
             let b = parallel.answer(&q).unwrap();
             assert_eq!(a.result, b.result, "{}", rewrite.name());
+            assert_bounds_identical(&a, &b, rewrite.name());
         }
     }
 }

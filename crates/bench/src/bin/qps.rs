@@ -19,7 +19,7 @@
 
 use std::time::{Duration, Instant};
 
-use aqua::{RewriteChoice, SamplingStrategy};
+use aqua::{Aqua, AquaConfig, RewriteChoice, SamplingStrategy};
 use bench::harness::{build_plan, ExperimentSetup};
 use engine::aggregate::Accumulator;
 use engine::{
@@ -135,6 +135,72 @@ fn measure(
     leg
 }
 
+/// Run `clients` threads against one shared [`Aqua`], each replaying the
+/// workload `rounds` times (staggered start offsets so clients don't march
+/// in lockstep). The leg's qps is *aggregate* throughput: total queries
+/// answered across all clients divided by wall time.
+fn measure_multi(
+    name: &str,
+    aqua: &Aqua,
+    workload: &[&GroupByQuery],
+    rounds: usize,
+    clients: usize,
+) -> LegResult {
+    let mut lat_us: Vec<f64> = Vec::with_capacity(workload.len() * rounds * clients);
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(workload.len() * rounds);
+                    for r in 0..rounds {
+                        for i in 0..workload.len() {
+                            let q = workload[(i + c + r) % workload.len()];
+                            let t0 = Instant::now();
+                            let a = aqua.answer(q).unwrap();
+                            std::hint::black_box(a);
+                            lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            lat_us.extend(h.join().unwrap());
+        }
+    });
+    let total: Duration = wall.elapsed();
+    lat_us.sort_by(f64::total_cmp);
+    let leg = LegResult {
+        name: name.to_string(),
+        rewrite: "Integrated",
+        p50_us: percentile(&lat_us, 50.0),
+        p99_us: percentile(&lat_us, 99.0),
+        qps: lat_us.len() as f64 / total.as_secs_f64(),
+    };
+    eprintln!(
+        "  {:<28} p50 {:>9.1} µs  p99 {:>9.1} µs  {:>10.1} q/s (aggregate)",
+        format!("{} ({})", leg.name, leg.rewrite),
+        leg.p50_us,
+        leg.p99_us,
+        leg.qps
+    );
+    leg
+}
+
+/// Pull the `qps` value of the named leg out of a bench JSON blob. The
+/// format is our own hand-rolled output, so a line-free substring scan is
+/// enough — no JSON parser needed.
+fn scrape_qps(json: &str, name: &str) -> Option<f64> {
+    let pos = json.find(&format!("\"name\":\"{name}\""))?;
+    let rest = &json[pos..];
+    let qpos = rest.find("\"qps\":")?;
+    let tail = &rest[qpos + "\"qps\":".len()..];
+    let end = tail.find(['}', ','])?;
+    tail[..end].trim().parse().ok()
+}
+
 fn json_leg(l: &LegResult) -> String {
     format!(
         "{{\"name\":\"{}\",\"rewrite\":\"{}\",\"p50_us\":{:.2},\"p99_us\":{:.2},\"qps\":{:.2}}}",
@@ -150,6 +216,13 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map_or("BENCH_query.json", |s| s.as_str());
+    // `--check <baseline.json>`: after the run, compare warm-serial qps
+    // against the committed baseline and exit nonzero on a >20% regression.
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str());
 
     let config = GeneratorConfig {
         table_size: if quick { 50_000 } else { 1_000_000 },
@@ -266,6 +339,62 @@ fn main() {
         eprintln!("    cache: {} hits / {} misses", stats.hits, stats.misses);
     }
 
+    // Unfiltered group-bys only, warm + serial: this isolates the
+    // O(groups) cached-summary path (no predicate → no bitmap scan), the
+    // ISSUE 4 headline number.
+    {
+        let unfiltered: Vec<&GroupByQuery> = vec![&setup.qg2, &setup.qg3];
+        let cache = QueryCache::new();
+        let opts = ExecOptions {
+            cache: Some(&cache),
+            parallel: false,
+        };
+        for q in &unfiltered {
+            let _ = plan.execute_opts(q, &opts).unwrap();
+        }
+        legs.push(measure(
+            "warm-serial-unfiltered",
+            "Integrated",
+            &unfiltered,
+            rounds,
+            |q| {
+                let r = plan.execute_opts(q, &opts).unwrap();
+                std::hint::black_box(r);
+            },
+        ));
+    }
+
+    // Multi-client legs: N threads hammer one shared `Aqua` system (its
+    // synopsis cache behind sharded RwLocks), reporting aggregate qps.
+    {
+        let aqua = Aqua::build(
+            setup.dataset.relation.clone(),
+            setup.qg3.grouping.clone(),
+            AquaConfig {
+                space: (sample_fraction * config.table_size as f64) as usize,
+                strategy: SamplingStrategy::Congress,
+                rewrite: RewriteChoice::Integrated,
+                confidence: 0.9,
+                seed: 3_000,
+                parallelism: 1,
+            },
+        )
+        .expect("aqua builds");
+        // One untimed pass warms every summary table.
+        for q in &workload {
+            let _ = aqua.answer(q).unwrap();
+        }
+        for clients in [1usize, 4, 16] {
+            legs.push(measure_multi(
+                &format!("multi-client-{clients}"),
+                &aqua,
+                &workload,
+                rounds,
+                clients,
+            ));
+        }
+    }
+
     // Warm-parallel coverage for the other three rewrite strategies.
     for rewrite in [
         RewriteChoice::NestedIntegrated,
@@ -311,18 +440,50 @@ fn main() {
     let speedup = warm_parallel_qps / legacy_qps;
     println!("\nlegacy: {legacy_qps:.1} q/s; warm-parallel: {warm_parallel_qps:.1} q/s; speedup: {speedup:.2}x");
 
+    let leg_qps = |name: &str| legs.iter().find(|l| l.name == name).map_or(0.0, |l| l.qps);
+    let scaling_16_vs_1 =
+        leg_qps("multi-client-16") / leg_qps("multi-client-1").max(f64::MIN_POSITIVE);
+    let unfiltered_p50 = legs
+        .iter()
+        .find(|l| l.name == "warm-serial-unfiltered")
+        .map_or(0.0, |l| l.p50_us);
+    println!(
+        "warm-serial-unfiltered p50: {unfiltered_p50:.1} µs; 16-client vs 1-client aggregate: {scaling_16_vs_1:.2}x ({} cpus)",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
     let legs_json: Vec<String> = legs.iter().map(json_leg).collect();
     let json = format!(
-        "{{\n  \"bench\": \"query_fastpath_qps\",\n  \"table_size\": {},\n  \"sample_fraction\": {},\n  \"sample_rows\": {},\n  \"workload_queries\": {},\n  \"rounds\": {},\n  \"quick\": {},\n  \"legs\": [\n    {}\n  ],\n  \"speedup_warm_parallel_vs_legacy\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"query_fastpath_qps\",\n  \"table_size\": {},\n  \"sample_fraction\": {},\n  \"sample_rows\": {},\n  \"workload_queries\": {},\n  \"rounds\": {},\n  \"quick\": {},\n  \"cpus\": {},\n  \"legs\": [\n    {}\n  ],\n  \"speedup_warm_parallel_vs_legacy\": {:.3},\n  \"warm_serial_unfiltered_p50_us\": {:.2},\n  \"multi_client_scaling_16_vs_1\": {:.3}\n}}\n",
         config.table_size,
         sample_fraction,
         sample_rows,
         workload.len(),
         rounds,
         quick,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
         legs_json.join(",\n    "),
-        speedup
+        speedup,
+        unfiltered_p50,
+        scaling_16_vs_1
     );
     std::fs::write(out_path, &json).expect("write bench JSON");
     eprintln!("wrote {out_path}");
+
+    // Regression gate for CI: warm-serial throughput must stay within 20%
+    // of the committed baseline (same hardware class — CI compares runs on
+    // the same runner, not across machines).
+    if let Some(baseline_path) = check_path {
+        let baseline = std::fs::read_to_string(baseline_path).expect("read baseline JSON");
+        let base_qps = scrape_qps(&baseline, "warm-serial").expect("baseline has warm-serial leg");
+        let cur_qps = leg_qps("warm-serial");
+        let floor = 0.8 * base_qps;
+        eprintln!(
+            "check: warm-serial {cur_qps:.1} q/s vs baseline {base_qps:.1} q/s (floor {floor:.1})"
+        );
+        if cur_qps < floor {
+            eprintln!("FAIL: warm-serial qps regressed more than 20% below baseline");
+            std::process::exit(1);
+        }
+    }
 }

@@ -112,14 +112,13 @@ impl AggregateSpec {
     }
 }
 
-/// Streaming accumulator for one aggregate over one group.
-///
-/// `add` takes the row's expression value and a weight. Exact execution
-/// passes weight 1; the rewrite strategies pass the stratum ScaleFactor,
-/// which yields exactly the paper's scaled SUM / scaled COUNT / ratio AVG.
-#[derive(Debug, Clone, Copy)]
-pub struct Accumulator {
-    func: AggregateFn,
+/// Function-independent accumulation state for one group: `Σ value·weight`,
+/// `Σ weight`, the raw value range, and the folded row count. Every
+/// aggregate operator finishes from these five fields, which is what makes
+/// the state cacheable per (grouping, measure expression) rather than per
+/// query — see [`crate::cache::MeasureSummary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Partial {
     weighted_sum: f64,
     weight: f64,
     min: f64,
@@ -127,11 +126,16 @@ pub struct Accumulator {
     rows: u64,
 }
 
-impl Accumulator {
-    /// Fresh accumulator for `func`.
-    pub fn new(func: AggregateFn) -> Self {
-        Accumulator {
-            func,
+impl Default for Partial {
+    fn default() -> Self {
+        Partial::new()
+    }
+}
+
+impl Partial {
+    /// Empty state.
+    pub fn new() -> Partial {
+        Partial {
             weighted_sum: 0.0,
             weight: 0.0,
             min: f64::INFINITY,
@@ -140,7 +144,7 @@ impl Accumulator {
         }
     }
 
-    /// Fold in one row. `value` is ignored for COUNT.
+    /// Fold in one row's value and weight.
     #[inline]
     pub fn add(&mut self, value: f64, weight: f64) {
         self.weighted_sum += value * weight;
@@ -154,9 +158,8 @@ impl Accumulator {
         self.rows += 1;
     }
 
-    /// Merge another accumulator of the same function into this one.
-    pub fn merge(&mut self, other: &Accumulator) {
-        debug_assert_eq!(self.func, other.func);
+    /// Merge another partial into this one.
+    pub fn merge(&mut self, other: &Partial) {
         self.weighted_sum += other.weighted_sum;
         self.weight += other.weight;
         self.min = self.min.min(other.min);
@@ -188,16 +191,81 @@ impl Accumulator {
     pub fn max_value(&self) -> f64 {
         self.max
     }
+}
+
+/// Streaming accumulator for one aggregate over one group.
+///
+/// `add` takes the row's expression value and a weight. Exact execution
+/// passes weight 1; the rewrite strategies pass the stratum ScaleFactor,
+/// which yields exactly the paper's scaled SUM / scaled COUNT / ratio AVG.
+#[derive(Debug, Clone, Copy)]
+pub struct Accumulator {
+    func: AggregateFn,
+    state: Partial,
+}
+
+impl Accumulator {
+    /// Fresh accumulator for `func`.
+    pub fn new(func: AggregateFn) -> Self {
+        Accumulator {
+            func,
+            state: Partial::new(),
+        }
+    }
+
+    /// Restore an accumulator from a cached [`Partial`]. Because the state
+    /// is function-independent, one cached partial per (grouping, measure)
+    /// serves SUM, COUNT, AVG, MIN, and MAX alike.
+    pub fn from_partial(func: AggregateFn, state: Partial) -> Self {
+        Accumulator { func, state }
+    }
+
+    /// Fold in one row. `value` is ignored for COUNT.
+    #[inline]
+    pub fn add(&mut self, value: f64, weight: f64) {
+        self.state.add(value, weight);
+    }
+
+    /// Merge another accumulator of the same function into this one.
+    pub fn merge(&mut self, other: &Accumulator) {
+        debug_assert_eq!(self.func, other.func);
+        self.state.merge(&other.state);
+    }
+
+    /// Number of raw rows folded in.
+    pub fn rows(&self) -> u64 {
+        self.state.rows()
+    }
+
+    /// `Σ value·weight` accumulated so far.
+    pub fn weighted_sum(&self) -> f64 {
+        self.state.weighted_sum()
+    }
+
+    /// `Σ weight` accumulated so far.
+    pub fn total_weight(&self) -> f64 {
+        self.state.total_weight()
+    }
+
+    /// Minimum raw value seen (`+∞` if empty).
+    pub fn min_value(&self) -> f64 {
+        self.state.min_value()
+    }
+
+    /// Maximum raw value seen (`-∞` if empty).
+    pub fn max_value(&self) -> f64 {
+        self.state.max_value()
+    }
 
     /// The aggregate's final value. AVG of an empty group is NaN; the
     /// executors never emit empty groups, so this is unreachable in queries.
     pub fn finish(&self) -> f64 {
         match self.func {
-            AggregateFn::Sum => self.weighted_sum,
-            AggregateFn::Count => self.weight,
-            AggregateFn::Avg => self.weighted_sum / self.weight,
-            AggregateFn::Min => self.min,
-            AggregateFn::Max => self.max,
+            AggregateFn::Sum => self.state.weighted_sum(),
+            AggregateFn::Count => self.state.total_weight(),
+            AggregateFn::Avg => self.state.weighted_sum() / self.state.total_weight(),
+            AggregateFn::Min => self.state.min_value(),
+            AggregateFn::Max => self.state.max_value(),
         }
     }
 }
@@ -272,6 +340,60 @@ mod tests {
         a.merge(&b);
         assert!((a.finish() - whole.finish()).abs() < 1e-12);
         assert_eq!(a.rows(), whole.rows());
+    }
+
+    #[test]
+    fn restored_partial_is_bit_identical_to_streamed() {
+        // One shared Partial serves every aggregate function: streaming the
+        // same (value, weight) pairs through an Accumulator must land on
+        // exactly the same state.
+        let pairs = [(1.5, 2.0), (-3.25, 8.0), (7.0, 0.5), (0.1, 1.0)];
+        let mut p = Partial::new();
+        for (v, w) in pairs {
+            p.add(v, w);
+        }
+        for func in [
+            AggregateFn::Sum,
+            AggregateFn::Count,
+            AggregateFn::Avg,
+            AggregateFn::Min,
+            AggregateFn::Max,
+        ] {
+            let mut streamed = Accumulator::new(func);
+            for (v, w) in pairs {
+                streamed.add(v, w);
+            }
+            let restored = Accumulator::from_partial(func, p);
+            assert_eq!(restored.finish().to_bits(), streamed.finish().to_bits());
+            assert_eq!(restored.rows(), streamed.rows());
+            assert_eq!(restored.weighted_sum(), streamed.weighted_sum());
+        }
+    }
+
+    #[test]
+    fn partial_merge_matches_accumulator_merge() {
+        let mut a = Partial::new();
+        let mut b = Partial::new();
+        let mut aa = Accumulator::new(AggregateFn::Sum);
+        let mut ab = Accumulator::new(AggregateFn::Sum);
+        for (i, v) in [2.0, 3.0, 5.0, 7.0].iter().enumerate() {
+            if i % 2 == 0 {
+                a.add(*v, 1.5);
+                aa.add(*v, 1.5);
+            } else {
+                b.add(*v, 1.5);
+                ab.add(*v, 1.5);
+            }
+        }
+        a.merge(&b);
+        aa.merge(&ab);
+        assert_eq!(
+            Accumulator::from_partial(AggregateFn::Sum, a).finish(),
+            aa.finish()
+        );
+        assert_eq!(a.rows(), aa.rows());
+        assert_eq!(a.min_value(), aa.min_value());
+        assert_eq!(a.max_value(), aa.max_value());
     }
 
     #[test]

@@ -10,6 +10,14 @@
 //!   cached index is always *unfiltered* (predicates are applied during
 //!   accumulation from the selection bitmap), so one index serves every
 //!   predicate over the same grouping.
+//! * **Measure summaries** ([`MeasureSummary`]): per-(grouping, measure)
+//!   aggregate [`Partial`]s folded once in the exact chunked scan order, so
+//!   unfiltered and group-only-predicate queries restore accumulators in
+//!   O(groups) instead of re-scanning rows — bit-identical to the scan path
+//!   because the partials *are* the scan path's output.
+//! * **Stratum summaries** ([`StratumSummary`]): per-(group, stratum)
+//!   `count` / `Σx` / `Σx²` / range cells feeding the variance-based error
+//!   bounds without a row scan.
 //! * **The stratum layout**: a stable permutation of sample rows sorted by
 //!   stratum id, with one contiguous run per stratum. Expanding per-stratum
 //!   ScaleFactors to per-row weights becomes a sequential scan over runs
@@ -17,18 +25,40 @@
 //! * **Per-row weights** derived from that layout (for the Normalized
 //!   family, whose layouts do not store a per-tuple SF column).
 //!
+//! Concurrency: the maps are sharded by key hash and guarded by
+//! `parking_lot::RwLock`s, so the steady state (every entry warm) is
+//! read-locks only — many clients answer concurrently without contending on
+//! a single mutex. Heavy computation happens outside any lock; on a cold
+//! race both racers compute the identical value and the first insert wins.
+//!
 //! The owner ([`Synopsis`](../../aqua) in the aqua crate) must call
 //! [`QueryCache::invalidate`] whenever the backing sample changes;
 //! everything here is interior-mutable and `Sync` because answering holds
 //! only a read lock on the synopsis.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 use relation::{ColumnId, Relation};
 
+use crate::aggregate::Partial;
 use crate::grouping::{GroupIndex, PAR_MIN_ROWS};
+
+/// Number of lock shards per table. Sixteen keeps the per-shard collision
+/// probability low for realistic working sets (a handful of groupings ×
+/// measures) while the array stays small enough to scan on invalidation.
+const SHARDS: usize = 16;
+
+fn shard_of<K: Hash + ?Sized>(key: &K) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
 
 /// Execution options threaded through
 /// [`SamplePlan::execute_opts`](crate::rewrite::SamplePlan::execute_opts):
@@ -52,6 +82,290 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compute and insert.
     pub misses: u64,
+}
+
+/// Cached per-group aggregate state for one (grouping, measure, weighting)
+/// triple: exactly the [`Partial`]s the chunked scan produces, one per
+/// group id of the cached unfiltered [`GroupIndex`]. Restoring an
+/// [`Accumulator`](crate::aggregate::Accumulator) from these is
+/// bit-identical to re-running the scan because they *are* the scan's
+/// output, folded once in the canonical chunk order.
+#[derive(Debug, Clone)]
+pub struct MeasureSummary {
+    partials: Vec<Partial>,
+}
+
+impl MeasureSummary {
+    /// Wrap per-group partials (indexed by group id).
+    pub fn new(partials: Vec<Partial>) -> MeasureSummary {
+        MeasureSummary { partials }
+    }
+
+    /// Per-group partials, indexed by group id.
+    pub fn partials(&self) -> &[Partial] {
+        &self.partials
+    }
+}
+
+/// Per-(group, stratum) moment cell: `count`, `Σx`, `Σx²`, and the value
+/// range. Mirrors `congress::bounds::Moments` field-for-field (the aqua
+/// crate converts directly) without making engine depend on congress.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StratumCell {
+    /// Number of values folded in.
+    pub count: u64,
+    /// Sum of values.
+    pub sum: f64,
+    /// Sum of squared values.
+    pub sum_sq: f64,
+    /// Minimum value seen (`+∞` if empty).
+    pub min: f64,
+    /// Maximum value seen (`-∞` if empty).
+    pub max: f64,
+}
+
+impl Default for StratumCell {
+    fn default() -> Self {
+        StratumCell::new()
+    }
+}
+
+impl StratumCell {
+    /// Empty cell.
+    pub fn new() -> StratumCell {
+        StratumCell {
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one value, in the same operation order as
+    /// `congress::bounds::Moments::push` so restored moments are
+    /// bit-identical to streamed ones.
+    #[inline]
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.sum_sq += v * v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+}
+
+/// Per-(group, stratum) moment cells for one (grouping, measure) pair,
+/// feeding the variance-based error bounds without scanning rows. Cells
+/// are folded in row order (matching the bounds scan) and each group's
+/// strata are sorted by stratum id so the downstream bound combination
+/// folds in a deterministic order.
+#[derive(Debug, Clone)]
+pub struct StratumSummary {
+    by_group: Vec<Vec<(u32, StratumCell)>>,
+}
+
+impl StratumSummary {
+    /// Fold every live row of `index` into its (group, stratum) cell.
+    /// `values` is the evaluated measure expression (`None` means COUNT,
+    /// which folds `1.0` per row — the bounds-path convention).
+    pub fn build(
+        index: &GroupIndex,
+        stratum_of_row: &[u32],
+        values: Option<&[f64]>,
+    ) -> StratumSummary {
+        let mut cells: HashMap<(u32, u32), StratumCell> = HashMap::new();
+        for (r, &g) in index.group_ids().iter().enumerate() {
+            if g == u32::MAX {
+                continue;
+            }
+            let v = values.map_or(1.0, |vals| vals[r]);
+            cells.entry((g, stratum_of_row[r])).or_default().push(v);
+        }
+        let mut by_group: Vec<Vec<(u32, StratumCell)>> = vec![Vec::new(); index.group_count()];
+        for ((g, s), cell) in cells {
+            by_group[g as usize].push((s, cell));
+        }
+        for strata in &mut by_group {
+            strata.sort_unstable_by_key(|&(s, _)| s);
+        }
+        StratumSummary { by_group }
+    }
+
+    /// The non-empty strata of group `gid`, sorted by stratum id.
+    pub fn strata_of(&self, gid: u32) -> &[(u32, StratumCell)] {
+        &self.by_group[gid as usize]
+    }
+}
+
+type IndexShard = RwLock<HashMap<Vec<ColumnId>, Arc<GroupIndex>>>;
+type SummaryKey = (Vec<ColumnId>, String, bool);
+type SummaryShard = RwLock<HashMap<SummaryKey, Arc<MeasureSummary>>>;
+type StratumKey = (Vec<ColumnId>, String);
+type StratumShard = RwLock<HashMap<StratumKey, Arc<StratumSummary>>>;
+
+/// Memoized query-serving state for one immutable sample generation.
+///
+/// Thread-safe with interior mutability; see the module docs for the
+/// sharded read-mostly locking design.
+pub struct QueryCache {
+    indexes: Vec<IndexShard>,
+    summaries: Vec<SummaryShard>,
+    stratum_summaries: Vec<StratumShard>,
+    layout: RwLock<Option<Arc<StratumLayout>>>,
+    weights: RwLock<Option<Arc<Vec<f64>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        QueryCache {
+            indexes: (0..SHARDS).map(|_| RwLock::default()).collect(),
+            summaries: (0..SHARDS).map(|_| RwLock::default()).collect(),
+            stratum_summaries: (0..SHARDS).map(|_| RwLock::default()).collect(),
+            layout: RwLock::new(None),
+            weights: RwLock::new(None),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        let groupings: usize = self.indexes.iter().map(|s| s.read().len()).sum();
+        let summaries: usize = self.summaries.iter().map(|s| s.read().len()).sum();
+        f.debug_struct("QueryCache")
+            .field("cached_groupings", &groupings)
+            .field("cached_summaries", &summaries)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+impl QueryCache {
+    /// Fresh, empty cache.
+    pub fn new() -> QueryCache {
+        QueryCache::default()
+    }
+
+    /// The *unfiltered* group index of `rel` under `cols`, memoized.
+    /// `parallel` only affects how a missing index is built (the sharded
+    /// build produces an identical index at any thread count).
+    pub fn index_for(&self, rel: &Relation, cols: &[ColumnId], parallel: bool) -> Arc<GroupIndex> {
+        let shard = &self.indexes[shard_of(cols)];
+        if let Some(ix) = shard.read().get(cols) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(ix);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(if parallel && rel.row_count() >= PAR_MIN_ROWS {
+            GroupIndex::par_build(rel, cols)
+        } else {
+            GroupIndex::build(rel, cols)
+        });
+        Arc::clone(shard.write().entry(cols.to_vec()).or_insert(built))
+    }
+
+    /// The memoized per-group [`MeasureSummary`] for `(cols, measure,
+    /// weighted)`, building it via `build` on a miss. `weighted`
+    /// distinguishes SF-weighted partials (the answer path) from
+    /// unweighted ones (NestedIntegrated's inner pass).
+    pub fn summary_for(
+        &self,
+        cols: &[ColumnId],
+        measure: &str,
+        weighted: bool,
+        build: impl FnOnce() -> crate::error::Result<Vec<Partial>>,
+    ) -> crate::error::Result<Arc<MeasureSummary>> {
+        let key: SummaryKey = (cols.to_vec(), measure.to_string(), weighted);
+        let shard = &self.summaries[shard_of(&key)];
+        if let Some(s) = shard.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(s));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(MeasureSummary::new(build()?));
+        Ok(Arc::clone(shard.write().entry(key).or_insert(built)))
+    }
+
+    /// The memoized [`StratumSummary`] for `(cols, measure)`, building it
+    /// via `build` on a miss.
+    pub fn stratum_summary_for(
+        &self,
+        cols: &[ColumnId],
+        measure: &str,
+        build: impl FnOnce() -> crate::error::Result<StratumSummary>,
+    ) -> crate::error::Result<Arc<StratumSummary>> {
+        let key: StratumKey = (cols.to_vec(), measure.to_string());
+        let shard = &self.stratum_summaries[shard_of(&key)];
+        if let Some(s) = shard.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(s));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build()?);
+        Ok(Arc::clone(shard.write().entry(key).or_insert(built)))
+    }
+
+    /// The memoized stratum layout, building it via `build` on a miss.
+    pub fn layout_for(&self, build: impl FnOnce() -> StratumLayout) -> Arc<StratumLayout> {
+        if let Some(l) = &*self.layout.read() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(l);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let l = Arc::new(build());
+        let mut guard = self.layout.write();
+        Arc::clone(guard.get_or_insert(l))
+    }
+
+    /// Memoized per-row weights, building them via `build` on a miss.
+    pub fn weights_for(
+        &self,
+        build: impl FnOnce() -> crate::error::Result<Vec<f64>>,
+    ) -> crate::error::Result<Arc<Vec<f64>>> {
+        if let Some(w) = &*self.weights.read() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(w));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let w = Arc::new(build()?);
+        let mut guard = self.weights.write();
+        Ok(Arc::clone(guard.get_or_insert(w)))
+    }
+
+    /// Drop every memoized value. Must be called whenever the backing
+    /// sample changes (insert/refresh/rebuild/import); counters survive so
+    /// long-running systems keep meaningful hit rates.
+    pub fn invalidate(&self) {
+        for shard in &self.indexes {
+            shard.write().clear();
+        }
+        for shard in &self.summaries {
+            shard.write().clear();
+        }
+        for shard in &self.stratum_summaries {
+            shard.write().clear();
+        }
+        *self.layout.write() = None;
+        *self.weights.write() = None;
+    }
+
+    /// Lifetime hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Sample rows permuted into per-stratum contiguous runs.
@@ -119,114 +433,6 @@ impl StratumLayout {
     }
 }
 
-/// Memoized query-serving state for one immutable sample generation.
-///
-/// Thread-safe with interior mutability: lookups take short mutex-guarded
-/// map probes and the heavy computation happens outside the lock (a rare
-/// duplicated build on a cold race is benign — both racers compute the
-/// identical value and the first insert wins).
-#[derive(Default)]
-pub struct QueryCache {
-    indexes: Mutex<HashMap<Vec<ColumnId>, Arc<GroupIndex>>>,
-    layout: Mutex<Option<Arc<StratumLayout>>>,
-    weights: Mutex<Option<Arc<Vec<f64>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
-
-impl std::fmt::Debug for QueryCache {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let stats = self.stats();
-        f.debug_struct("QueryCache")
-            .field("cached_groupings", &self.lock_indexes().len())
-            .field("hits", &stats.hits)
-            .field("misses", &stats.misses)
-            .finish()
-    }
-}
-
-impl QueryCache {
-    /// Fresh, empty cache.
-    pub fn new() -> QueryCache {
-        QueryCache::default()
-    }
-
-    fn lock_indexes(&self) -> std::sync::MutexGuard<'_, HashMap<Vec<ColumnId>, Arc<GroupIndex>>> {
-        self.indexes.lock().expect("query cache poisoned")
-    }
-
-    /// The *unfiltered* group index of `rel` under `cols`, memoized.
-    /// `parallel` only affects how a missing index is built (the sharded
-    /// build produces an identical index at any thread count).
-    pub fn index_for(&self, rel: &Relation, cols: &[ColumnId], parallel: bool) -> Arc<GroupIndex> {
-        if let Some(ix) = self.lock_indexes().get(cols) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(ix);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(if parallel && rel.row_count() >= PAR_MIN_ROWS {
-            GroupIndex::par_build(rel, cols)
-        } else {
-            GroupIndex::build(rel, cols)
-        });
-        Arc::clone(self.lock_indexes().entry(cols.to_vec()).or_insert(built))
-    }
-
-    /// The memoized stratum layout, building it via `build` on a miss.
-    pub fn layout_for(&self, build: impl FnOnce() -> StratumLayout) -> Arc<StratumLayout> {
-        let mut guard = self.layout.lock().expect("query cache poisoned");
-        match &*guard {
-            Some(l) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Arc::clone(l)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                let l = Arc::new(build());
-                *guard = Some(Arc::clone(&l));
-                l
-            }
-        }
-    }
-
-    /// Memoized per-row weights, building them via `build` on a miss.
-    pub fn weights_for(
-        &self,
-        build: impl FnOnce() -> crate::error::Result<Vec<f64>>,
-    ) -> crate::error::Result<Arc<Vec<f64>>> {
-        let mut guard = self.weights.lock().expect("query cache poisoned");
-        match &*guard {
-            Some(w) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Ok(Arc::clone(w))
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                let w = Arc::new(build()?);
-                *guard = Some(Arc::clone(&w));
-                Ok(w)
-            }
-        }
-    }
-
-    /// Drop every memoized value. Must be called whenever the backing
-    /// sample changes (insert/refresh/rebuild/import); counters survive so
-    /// long-running systems keep meaningful hit rates.
-    pub fn invalidate(&self) {
-        self.lock_indexes().clear();
-        *self.layout.lock().expect("query cache poisoned") = None;
-        *self.weights.lock().expect("query cache poisoned") = None;
-    }
-
-    /// Lifetime hit/miss counters.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,12 +494,85 @@ mod tests {
     }
 
     #[test]
+    fn summary_cache_keys_on_measure_and_weighting() {
+        let cache = QueryCache::new();
+        let cols = [ColumnId(0)];
+        let p = vec![Partial::new()];
+        let a = cache
+            .summary_for(&cols, "SUM(v)", true, || Ok(p.clone()))
+            .unwrap();
+        let b = cache
+            .summary_for(&cols, "SUM(v)", true, || panic!("must hit"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // Same measure, different weighting → distinct entry.
+        let c = cache
+            .summary_for(&cols, "SUM(v)", false, || Ok(p.clone()))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        // Different measure → distinct entry.
+        let d = cache
+            .summary_for(&cols, "COUNT(*)", true, || Ok(p.clone()))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &d));
+        // Build errors propagate without caching anything.
+        assert!(cache
+            .summary_for(&cols, "BAD", true, || Err(
+                crate::error::EngineError::NoAggregates
+            ))
+            .is_err());
+        assert!(cache
+            .summary_for(&cols, "BAD", true, || Ok(p.clone()))
+            .is_ok());
+    }
+
+    #[test]
+    fn stratum_summary_build_matches_naive_moments() {
+        let r = rel(40); // g = i % 7, v = i
+        let ix = GroupIndex::build(&r, &[ColumnId(0)]);
+        let strata: Vec<u32> = (0..40).map(|i| (i / 20) as u32).collect();
+        let values: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let summary = StratumSummary::build(&ix, &strata, Some(&values));
+        for gid in 0..ix.group_count() as u32 {
+            let got = summary.strata_of(gid);
+            // Strata sorted ascending, and each cell matches a naive fold.
+            assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+            for &(s, cell) in got {
+                let rows: Vec<usize> = (0..40)
+                    .filter(|&r2| ix.group_of(r2) == gid && strata[r2] == s)
+                    .collect();
+                assert_eq!(cell.count, rows.len() as u64);
+                let mut want = StratumCell::new();
+                for &r2 in &rows {
+                    want.push(values[r2]);
+                }
+                assert_eq!(cell, want);
+            }
+        }
+        // COUNT convention: values = None folds 1.0 per row.
+        let counts = StratumSummary::build(&ix, &strata, None);
+        let total: f64 = (0..ix.group_count() as u32)
+            .flat_map(|g| counts.strata_of(g).iter().map(|&(_, c)| c.sum))
+            .sum();
+        assert_eq!(total, 40.0);
+    }
+
+    #[test]
     fn invalidate_drops_entries_but_keeps_counters() {
         let r = rel(50);
         let cache = QueryCache::new();
         cache.index_for(&r, &[ColumnId(0)], false);
         let _ = cache.layout_for(|| StratumLayout::build(&[0, 0, 1], 2));
         let _ = cache.weights_for(|| Ok(vec![1.0; 3])).unwrap();
+        let _ = cache
+            .summary_for(&[ColumnId(0)], "SUM(v)", true, || Ok(vec![Partial::new()]))
+            .unwrap();
+        let ix = GroupIndex::build(&r, &[ColumnId(0)]);
+        let _ = cache
+            .stratum_summary_for(&[ColumnId(0)], "SUM(v)", || {
+                Ok(StratumSummary::build(&ix, &[0; 50], None))
+            })
+            .unwrap();
         cache.invalidate();
         let before = cache.stats();
         let a = cache.index_for(&r, &[ColumnId(0)], false);
@@ -301,6 +580,23 @@ mod tests {
         // Re-built after invalidation, not resurrected.
         let b = cache.index_for(&r, &[ColumnId(0)], false);
         assert!(Arc::ptr_eq(&a, &b));
+        // Summaries were dropped too: the rebuild closure must run.
+        let mut ran = false;
+        let _ = cache
+            .summary_for(&[ColumnId(0)], "SUM(v)", true, || {
+                ran = true;
+                Ok(vec![Partial::new()])
+            })
+            .unwrap();
+        assert!(ran);
+        let mut ran2 = false;
+        let _ = cache
+            .stratum_summary_for(&[ColumnId(0)], "SUM(v)", || {
+                ran2 = true;
+                Ok(StratumSummary::build(&ix, &[0; 50], None))
+            })
+            .unwrap();
+        assert!(ran2);
         assert!(format!("{cache:?}").contains("cached_groupings"));
     }
 
@@ -313,5 +609,22 @@ mod tests {
         let par = warm.index_for(&r, &[ColumnId(0)], true);
         assert_eq!(seq.group_ids(), par.group_ids());
         assert_eq!(seq.keys(), par.keys());
+    }
+
+    #[test]
+    fn concurrent_reads_share_one_build() {
+        let r = rel(5_000);
+        let cache = QueryCache::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| cache.index_for(&r, &[ColumnId(0)], false)))
+                .collect();
+            let first = cache.index_for(&r, &[ColumnId(0)], false);
+            for h in handles {
+                let ix = h.join().unwrap();
+                // All callers converge on the single inserted Arc.
+                assert!(Arc::ptr_eq(&ix, &first));
+            }
+        });
     }
 }

@@ -25,12 +25,27 @@ use relation::{Bitmap, ColumnId, GroupKey, Relation};
 /// aggregation path so the two gates stay consistent.
 pub const PAR_MIN_ROWS: usize = 4096;
 
+/// Minimum rows *per shard* for the sharded parallel index build. The
+/// cold-parallel regression in BENCH_query.json (631.8 q/s vs 688.1
+/// serial at a 50k-row sample) came from gating on total rows only:
+/// splitting 50k rows across 8+ threads gives each shard so little work
+/// that per-shard dictionaries plus the merge pass cost more than they
+/// save. Capping the shard count at `n / PAR_SHARD_MIN_ROWS` keeps every
+/// shard beyond the measured break-even (~32Ki rows).
+pub const PAR_SHARD_MIN_ROWS: usize = 32 * 1024;
+
 /// Dense group ids for every row of a relation under one grouping.
 #[derive(Debug, Clone)]
 pub struct GroupIndex {
     cols: Vec<ColumnId>,
     group_of_row: Vec<u32>,
     keys: Vec<GroupKey>,
+    /// First-occurrence row per group id (`u32::MAX` only for the empty
+    /// grouping when every row is masked out).
+    first_rows: Vec<u32>,
+    /// Group ids sorted by ascending key, computed once on first use so a
+    /// memoized index lets repeat queries skip the per-result key sort.
+    sorted_gids: std::sync::OnceLock<Vec<u32>>,
 }
 
 impl GroupIndex {
@@ -51,15 +66,21 @@ impl GroupIndex {
 
         if cols.is_empty() {
             let mut group_of_row = vec![u32::MAX; n];
+            let mut first = u32::MAX;
             for (r, g) in group_of_row.iter_mut().enumerate() {
                 if live(r) {
                     *g = 0;
+                    if first == u32::MAX {
+                        first = r as u32;
+                    }
                 }
             }
             return GroupIndex {
                 cols: Vec::new(),
                 group_of_row,
                 keys: vec![GroupKey::empty()],
+                first_rows: vec![first],
+                sorted_gids: std::sync::OnceLock::new(),
             };
         }
 
@@ -82,6 +103,7 @@ impl GroupIndex {
 
         let mut group_of_row = vec![u32::MAX; n];
         let mut keys: Vec<GroupKey> = Vec::new();
+        let mut first_rows: Vec<u32> = Vec::new();
 
         if cols.len() <= 4 {
             let mut map: HashMap<u128, u32> = HashMap::new();
@@ -96,22 +118,32 @@ impl GroupIndex {
                 let next = map.len() as u32;
                 let gid = *map.entry(packed).or_insert_with(|| {
                     keys.push(GroupKey::from_row(rel, r, cols));
+                    first_rows.push(r as u32);
                     next
                 });
                 group_of_row[r] = gid;
             }
         } else {
             let mut map: HashMap<Vec<u32>, u32> = HashMap::new();
+            let mut scratch: Vec<u32> = Vec::with_capacity(dense_codes.len());
             for r in 0..n {
                 if !live(r) {
                     continue;
                 }
-                let composite: Vec<u32> = dense_codes.iter().map(|codes| codes[r]).collect();
-                let next = map.len() as u32;
-                let gid = *map.entry(composite).or_insert_with(|| {
-                    keys.push(GroupKey::from_row(rel, r, cols));
-                    next
-                });
+                scratch.clear();
+                scratch.extend(dense_codes.iter().map(|codes| codes[r]));
+                // Probe by slice (`Vec<u32>` hashes identically to `[u32]`);
+                // the owned key is allocated only when the group is new.
+                let gid = match map.get(scratch.as_slice()) {
+                    Some(&g) => g,
+                    None => {
+                        let g = map.len() as u32;
+                        keys.push(GroupKey::from_row(rel, r, cols));
+                        first_rows.push(r as u32);
+                        map.insert(scratch.clone(), g);
+                        g
+                    }
+                };
                 group_of_row[r] = gid;
             }
         }
@@ -120,6 +152,8 @@ impl GroupIndex {
             cols: cols.to_vec(),
             group_of_row,
             keys,
+            first_rows,
+            sorted_gids: std::sync::OnceLock::new(),
         }
     }
 
@@ -144,8 +178,14 @@ impl GroupIndex {
         mask: Option<&Bitmap>,
     ) -> GroupIndex {
         let n = rel.row_count();
-        let threads = rayon::current_num_threads().max(1);
-        if cols.is_empty() || threads == 1 || n < PAR_MIN_ROWS {
+        // Gate on work *per shard*, not just total rows: the shard count is
+        // capped so every shard folds at least PAR_SHARD_MIN_ROWS rows,
+        // falling back to the sequential build when even two shards of that
+        // size do not fit.
+        let threads = rayon::current_num_threads()
+            .max(1)
+            .min(n / PAR_SHARD_MIN_ROWS);
+        if cols.is_empty() || threads <= 1 || n < PAR_MIN_ROWS {
             return Self::build_filtered(rel, cols, mask);
         }
         let live = |r: usize| mask.is_none_or(|m| m.get(r));
@@ -205,6 +245,7 @@ impl GroupIndex {
         // registered at its global first-occurrence row.
         let mut global: HashMap<Vec<u64>, u32> = HashMap::new();
         let mut keys: Vec<GroupKey> = Vec::new();
+        let mut first_rows: Vec<u32> = Vec::new();
         let mut remaps: Vec<Vec<u32>> = Vec::with_capacity(shards.len());
         for shard in &shards {
             let mut remap = Vec::with_capacity(shard.codes_by_local_id.len());
@@ -214,6 +255,7 @@ impl GroupIndex {
                     None => {
                         let g = keys.len() as u32;
                         keys.push(GroupKey::from_row(rel, shard.first_rows[local], cols));
+                        first_rows.push(shard.first_rows[local] as u32);
                         global.insert(code.clone(), g);
                         g
                     }
@@ -237,6 +279,8 @@ impl GroupIndex {
             cols: cols.to_vec(),
             group_of_row,
             keys,
+            first_rows,
+            sorted_gids: std::sync::OnceLock::new(),
         }
     }
 
@@ -248,6 +292,20 @@ impl GroupIndex {
     /// Number of non-empty groups.
     pub fn group_count(&self) -> usize {
         self.keys.len()
+    }
+
+    /// Group ids ordered by ascending group key. Keys are distinct, so this
+    /// order is exactly what sorting result rows by key would produce —
+    /// emitting rows in this order lets [`QueryResult::from_sorted`] skip
+    /// the per-query sort.
+    ///
+    /// [`QueryResult::from_sorted`]: crate::QueryResult::from_sorted
+    pub fn gids_by_key(&self) -> &[u32] {
+        self.sorted_gids.get_or_init(|| {
+            let mut gids: Vec<u32> = (0..self.keys.len() as u32).collect();
+            gids.sort_unstable_by(|&a, &b| self.keys[a as usize].cmp(&self.keys[b as usize]));
+            gids
+        })
     }
 
     /// Group id of `row`, or `u32::MAX` if the row was masked out.
@@ -269,6 +327,19 @@ impl GroupIndex {
     /// All group keys, indexed by group id.
     pub fn keys(&self) -> &[GroupKey] {
         &self.keys
+    }
+
+    /// First-occurrence row of group `gid` — a representative row for
+    /// evaluating expressions that are constant within the group (e.g. a
+    /// predicate over the grouping columns).
+    ///
+    /// # Panics
+    /// For the empty grouping when every row was masked out, since no
+    /// representative row exists.
+    pub fn first_row(&self, gid: u32) -> usize {
+        let r = self.first_rows[gid as usize];
+        assert_ne!(r, u32::MAX, "group has no representative row");
+        r as usize
     }
 
     /// Per-group row counts.
@@ -439,6 +510,7 @@ mod tests {
             let w = wide.key(gid).values();
             assert_eq!(&w[..4], packed.key(gid).values());
             assert_eq!(w[4], Value::Int(42));
+            assert_eq!(wide.first_row(gid), packed.first_row(gid));
         }
 
         // Same agreement under a selection mask.
@@ -471,7 +543,9 @@ mod tests {
 
     #[test]
     fn par_build_matches_sequential_at_any_thread_count() {
-        let r = big_rel(10_000);
+        // Big enough that the per-shard work gate (PAR_SHARD_MIN_ROWS)
+        // still yields at least two shards.
+        let r = big_rel(80_000);
         let cols = r.schema().column_ids(&["a", "b"]).unwrap();
         let seq = GroupIndex::build(&r, &cols);
         for threads in [1usize, 2, 3, 8] {
@@ -482,12 +556,19 @@ mod tests {
             let par = pool.install(|| GroupIndex::par_build(&r, &cols));
             assert_eq!(par.group_ids(), seq.group_ids(), "threads = {threads}");
             assert_eq!(par.keys(), seq.keys(), "threads = {threads}");
+            for gid in 0..seq.group_count() as u32 {
+                assert_eq!(
+                    par.first_row(gid),
+                    seq.first_row(gid),
+                    "threads = {threads}"
+                );
+            }
         }
     }
 
     #[test]
     fn par_build_filtered_matches_sequential() {
-        let r = big_rel(8_192);
+        let r = big_rel(66_000);
         let cols = r.schema().column_ids(&["a", "b"]).unwrap();
         let mask = Bitmap::from_fn(r.row_count(), |i| i % 3 != 0);
         let seq = GroupIndex::build_filtered(&r, &cols, Some(&mask));
@@ -498,6 +579,39 @@ mod tests {
         let par = pool.install(|| GroupIndex::par_build_filtered(&r, &cols, Some(&mask)));
         assert_eq!(par.group_ids(), seq.group_ids());
         assert_eq!(par.keys(), seq.keys());
+        for gid in 0..seq.group_count() as u32 {
+            assert_eq!(par.first_row(gid), seq.first_row(gid));
+        }
+    }
+
+    #[test]
+    fn small_parallel_build_falls_back_to_sequential_shape() {
+        // Below two shards' worth of rows the parallel entry point must
+        // still produce the identical index via the sequential path.
+        let r = big_rel(10_000);
+        let cols = r.schema().column_ids(&["a", "b"]).unwrap();
+        let seq = GroupIndex::build(&r, &cols);
+        let par = GroupIndex::par_build(&r, &cols);
+        assert_eq!(par.group_ids(), seq.group_ids());
+        assert_eq!(par.keys(), seq.keys());
+    }
+
+    #[test]
+    fn first_row_tracks_global_first_occurrence() {
+        let r = rel();
+        let a = r.schema().column_id("a").unwrap();
+        let ix = GroupIndex::build(&r, &[a]);
+        // "x" first appears at row 0, "y" at row 1.
+        assert_eq!(ix.first_row(ix.group_of(0)), 0);
+        assert_eq!(ix.first_row(ix.group_of(1)), 1);
+        // Under a mask the representative is the first *live* row.
+        let mask = Bitmap::from_bools(&[false, true, true, true, false, false]);
+        let m = GroupIndex::build_filtered(&r, &[a], Some(&mask));
+        assert_eq!(m.first_row(m.group_of(2)), 2); // "x" now first at row 2
+        assert_eq!(m.first_row(m.group_of(1)), 1);
+        // Empty grouping: representative is the first live row overall.
+        let e = GroupIndex::build_filtered(&r, &[], Some(&mask));
+        assert_eq!(e.first_row(0), 1);
     }
 
     #[test]

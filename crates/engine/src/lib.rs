@@ -31,8 +31,10 @@ pub mod rewrite;
 pub mod sql;
 pub mod stratified;
 
-pub use aggregate::{AggregateFn, AggregateSpec};
-pub use cache::{CacheStats, ExecOptions, QueryCache, StratumLayout};
+pub use aggregate::{AggregateFn, AggregateSpec, Partial};
+pub use cache::{
+    CacheStats, ExecOptions, MeasureSummary, QueryCache, StratumCell, StratumLayout, StratumSummary,
+};
 pub use error::{EngineError, Result};
 pub use exec::execute_exact;
 pub use grouping::GroupIndex;

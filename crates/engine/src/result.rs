@@ -27,6 +27,22 @@ impl QueryResult {
         }
     }
 
+    /// Assemble a result from rows the caller guarantees are already in
+    /// ascending key order (e.g. emitted via [`GroupIndex::gids_by_key`]),
+    /// skipping the sort.
+    ///
+    /// [`GroupIndex::gids_by_key`]: crate::GroupIndex::gids_by_key
+    pub fn from_sorted(aggregate_names: Vec<String>, rows: Vec<(GroupKey, Vec<f64>)>) -> Self {
+        debug_assert!(
+            rows.windows(2).all(|w| w[0].0 < w[1].0),
+            "rows must be strictly sorted by key"
+        );
+        QueryResult {
+            aggregate_names,
+            rows,
+        }
+    }
+
     /// Number of groups.
     pub fn group_count(&self) -> usize {
         self.rows.len()

@@ -30,10 +30,10 @@ pub use normalized::Normalized;
 use std::sync::Arc;
 
 use rayon::prelude::*;
-use relation::{Bitmap, ColumnId, Relation};
+use relation::{Bitmap, ColumnId, Expr, Predicate, Relation};
 
-use crate::aggregate::Accumulator;
-use crate::cache::ExecOptions;
+use crate::aggregate::{Accumulator, Partial};
+use crate::cache::{ExecOptions, QueryCache};
 use crate::error::Result;
 use crate::grouping::{GroupIndex, PAR_MIN_ROWS};
 use crate::query::GroupByQuery;
@@ -78,6 +78,16 @@ pub trait SamplePlan {
 /// chunk order. A multiple of 64 so chunk boundaries align with bitmap
 /// words.
 pub(crate) const CHUNK_ROWS: usize = 16 * 1024;
+
+/// Minimum chunk count before chunked aggregation fans out to rayon.
+/// Chunk boundaries are fixed by [`CHUNK_ROWS`] for determinism, so the
+/// only free knob is whether chunks run concurrently — and with fewer
+/// than ~8 chunks (≈128Ki rows) the fork/join overhead outweighs the
+/// parallel speedup (the cold-parallel regression recorded in
+/// BENCH_query.json: 631.8 q/s parallel vs 688.1 serial at 50k sample
+/// rows). Below this many chunks the fold runs serially; the merged
+/// result is bit-identical either way.
+pub(crate) const PAR_MIN_CHUNKS: usize = 8;
 
 /// The *unfiltered* group index for `cols` over `rel`: from the query cache
 /// when one is supplied, freshly built otherwise. The parallel build is
@@ -163,7 +173,8 @@ pub(crate) fn accumulate(
         return chunk_accs(0, n);
     }
     let starts: Vec<usize> = (0..n).step_by(CHUNK_ROWS).collect();
-    let partials: Vec<Vec<Vec<Accumulator>>> = if parallel && rayon::current_num_threads() > 1 {
+    let fan_out = parallel && starts.len() >= PAR_MIN_CHUNKS && rayon::current_num_threads() > 1;
+    let partials: Vec<Vec<Vec<Accumulator>>> = if fan_out {
         starts
             .par_iter()
             .map(|&s| chunk_accs(s, (s + CHUNK_ROWS).min(n)))
@@ -186,6 +197,134 @@ pub(crate) fn accumulate(
     base
 }
 
+/// Canonical cache key for a measure expression. `Debug` formatting is
+/// injective over [`Expr`] trees (unlike `Display`, which cannot
+/// distinguish e.g. the literal `1` from a column named `1`), and `None`
+/// — the COUNT measure — gets its own reserved spelling. Public so the
+/// bounds layer keys its stratum summaries the same way.
+pub fn measure_key(expr: Option<&Expr>) -> String {
+    match expr {
+        Some(e) => format!("{e:?}"),
+        None => "COUNT(*)".to_string(),
+    }
+}
+
+/// Fold every row of the *unfiltered* `index` into one [`Partial`] per
+/// group for a single measure — the builder for cached
+/// [`MeasureSummary`](crate::cache::MeasureSummary)s.
+///
+/// Uses exactly [`accumulate`]'s chunk structure (fixed [`CHUNK_ROWS`]
+/// boundaries, row-order fold per chunk, chunk-order merge), so an
+/// accumulator restored from these partials is bit-identical to one the
+/// scan path would have produced over the same rows.
+pub(crate) fn accumulate_partials(
+    index: &GroupIndex,
+    values: Option<&[f64]>,
+    weights: Option<&[f64]>,
+    parallel: bool,
+) -> Vec<Partial> {
+    let n = index.group_ids().len();
+    let chunk_ps = |start: usize, end: usize| -> Vec<Partial> {
+        let mut ps = vec![Partial::new(); index.group_count()];
+        for row in start..end {
+            let gid = index.group_of(row);
+            if gid == u32::MAX {
+                continue;
+            }
+            let w = weights.map_or(1.0, |ws| ws[row]);
+            let v = values.map_or(0.0, |vals| vals[row]);
+            ps[gid as usize].add(v, w);
+        }
+        ps
+    };
+
+    if n <= CHUNK_ROWS {
+        return chunk_ps(0, n);
+    }
+    let starts: Vec<usize> = (0..n).step_by(CHUNK_ROWS).collect();
+    let fan_out = parallel && starts.len() >= PAR_MIN_CHUNKS && rayon::current_num_threads() > 1;
+    let partials: Vec<Vec<Partial>> = if fan_out {
+        starts
+            .par_iter()
+            .map(|&s| chunk_ps(s, (s + CHUNK_ROWS).min(n)))
+            .collect()
+    } else {
+        starts
+            .iter()
+            .map(|&s| chunk_ps(s, (s + CHUNK_ROWS).min(n)))
+            .collect()
+    };
+    let mut iter = partials.into_iter();
+    let mut base = iter.next().expect("at least one chunk");
+    for partial in iter {
+        for (p, q) in base.iter_mut().zip(partial) {
+            p.merge(&q);
+        }
+    }
+    base
+}
+
+/// O(groups) accumulator assembly from cached per-group summaries.
+///
+/// Valid only when `query.predicate` references grouping columns alone
+/// (checked by the caller via `Predicate::references_only`): then the
+/// predicate is constant within each group, so a group is either fully
+/// selected — its cached partial *is* the scan result over its rows — or
+/// fully excluded, in which case a fresh empty accumulator makes
+/// [`finish_rows`] drop it exactly as the scan path would. The predicate
+/// is evaluated once per group on its representative row instead of once
+/// per sample row.
+///
+/// The summaries are keyed per (grouping, measure, weighted) in `cache`,
+/// which must be private to this (relation, weights) generation — the
+/// same ownership contract as the cached indexes and weights.
+pub(crate) fn summary_accumulators(
+    rel: &Relation,
+    index: &GroupIndex,
+    weights: Option<&[f64]>,
+    query: &GroupByQuery,
+    opts: &ExecOptions,
+    cache: &QueryCache,
+) -> Result<Vec<Vec<Accumulator>>> {
+    let selected: Option<Vec<bool>> = match &query.predicate {
+        Predicate::True => None,
+        p => Some(
+            (0..index.group_count() as u32)
+                .map(|g| p.eval_row(rel, index.first_row(g)))
+                .collect(),
+        ),
+    };
+
+    let mut accs: Vec<Vec<Accumulator>> = (0..index.group_count())
+        .map(|_| Vec::with_capacity(query.aggregates.len()))
+        .collect();
+    for spec in &query.aggregates {
+        let summary = cache.summary_for(
+            index.columns(),
+            &measure_key(spec.expr.as_ref()),
+            weights.is_some(),
+            || {
+                let values = spec.expr.as_ref().map(|e| e.eval(rel)).transpose()?;
+                Ok(accumulate_partials(
+                    index,
+                    values.as_deref(),
+                    weights,
+                    opts.parallel,
+                ))
+            },
+        )?;
+        for (g, group_accs) in accs.iter_mut().enumerate() {
+            let keep = selected.as_ref().is_none_or(|s| s[g]);
+            group_accs.push(if keep {
+                Accumulator::from_partial(spec.func, summary.partials()[g])
+            } else {
+                Accumulator::new(spec.func)
+            });
+        }
+    }
+    Ok(accs)
+}
+
 /// Turn per-group accumulators into a sorted [`QueryResult`], dropping
 /// groups with no qualifying rows and applying HAVING.
 pub(crate) fn finish_rows(
@@ -194,18 +333,89 @@ pub(crate) fn finish_rows(
     query: &GroupByQuery,
 ) -> Result<QueryResult> {
     let names = query.aggregates.iter().map(|a| a.name.clone()).collect();
-    let rows = accs
-        .into_iter()
-        .enumerate()
-        .filter(|(_, a)| a.first().is_some_and(|x| x.rows() > 0))
-        .map(|(gid, a)| {
-            (
-                index.key(gid as u32).clone(),
+    // Emit rows in the index's memoized key order: identical to sorting
+    // after the fact (keys are distinct), but warm queries skip the sort.
+    let mut rows = Vec::with_capacity(accs.len());
+    for &gid in index.gids_by_key() {
+        let a = &accs[gid as usize];
+        if a.first().is_some_and(|x| x.rows() > 0) {
+            rows.push((
+                index.key(gid).clone(),
                 a.iter().map(Accumulator::finish).collect(),
+            ));
+        }
+    }
+    query.apply_having(QueryResult::from_sorted(names, rows))
+}
+
+/// [`summary_accumulators`] fused with [`finish_rows`] for the flat
+/// rewrites: rows are emitted straight from the cached partials in key
+/// order, skipping the per-group accumulator vectors entirely. Same
+/// validity precondition (group-only predicate) and the same output as
+/// running the two stages separately.
+pub(crate) fn summary_rows(
+    rel: &Relation,
+    index: &GroupIndex,
+    weights: Option<&[f64]>,
+    query: &GroupByQuery,
+    opts: &ExecOptions,
+    cache: &QueryCache,
+) -> Result<QueryResult> {
+    let summaries: Vec<_> = query
+        .aggregates
+        .iter()
+        .map(|spec| {
+            cache.summary_for(
+                index.columns(),
+                &measure_key(spec.expr.as_ref()),
+                weights.is_some(),
+                || {
+                    let values = spec.expr.as_ref().map(|e| e.eval(rel)).transpose()?;
+                    Ok(accumulate_partials(
+                        index,
+                        values.as_deref(),
+                        weights,
+                        opts.parallel,
+                    ))
+                },
             )
         })
-        .collect();
-    query.apply_having(QueryResult::new(names, rows))
+        .collect::<Result<_>>()?;
+    let selected: Option<Vec<bool>> = match &query.predicate {
+        Predicate::True => None,
+        p => Some(
+            (0..index.group_count() as u32)
+                .map(|g| p.eval_row(rel, index.first_row(g)))
+                .collect(),
+        ),
+    };
+
+    let names = query.aggregates.iter().map(|a| a.name.clone()).collect();
+    let mut rows = Vec::with_capacity(index.group_count());
+    for &gid in index.gids_by_key() {
+        let g = gid as usize;
+        if selected.as_ref().is_some_and(|s| !s[g]) {
+            continue;
+        }
+        // Unfiltered partials: a group with no rows cannot exist, but keep
+        // the same rows() guard the accumulator path applies.
+        let Some(first) = summaries.first() else {
+            break;
+        };
+        if first.partials()[g].rows() == 0 {
+            continue;
+        }
+        rows.push((
+            index.key(gid).clone(),
+            query
+                .aggregates
+                .iter()
+                .zip(&summaries)
+                .map(|(spec, s)| Accumulator::from_partial(spec.func, s.partials()[g]).finish())
+                .collect(),
+        ));
+    }
+    query.apply_having(QueryResult::from_sorted(names, rows))
 }
 
 /// Shared flat aggregation: evaluate `query` over `rel` where each row
@@ -223,6 +433,17 @@ pub(crate) fn aggregate_weighted_opts(
 ) -> Result<QueryResult> {
     query.validate(rel)?;
     debug_assert_eq!(weights.len(), rel.row_count());
+
+    // O(groups) fast path: a predicate over the grouping columns alone is
+    // constant per group, so cached per-group partials answer the query
+    // without touching any sample row (see `summary_accumulators` for the
+    // bit-identity argument).
+    if let Some(cache) = opts.cache {
+        if rel.row_count() > 0 && query.predicate.references_only(&query.grouping) {
+            let index = cache.index_for(rel, &query.grouping, opts.parallel);
+            return summary_rows(rel, &index, Some(weights), query, opts, cache);
+        }
+    }
 
     let mask = query.predicate.eval(rel);
     let index = grouping_index(rel, &query.grouping, opts);

@@ -9,9 +9,10 @@ use relation::{Column, ColumnId, DataType, Field, GroupKey, Relation};
 use crate::aggregate::{Accumulator, AggregateFn};
 use crate::cache::ExecOptions;
 use crate::error::Result;
+use crate::grouping::GroupIndex;
 use crate::query::GroupByQuery;
 use crate::result::QueryResult;
-use crate::rewrite::{accumulate, grouping_index, masked_exprs, SamplePlan};
+use crate::rewrite::{accumulate, grouping_index, masked_exprs, summary_accumulators, SamplePlan};
 use crate::stratified::StratifiedInput;
 
 /// The Nested-integrated physical layout (identical storage to
@@ -93,22 +94,56 @@ impl SamplePlan for NestedIntegrated {
     fn execute_opts(&self, query: &GroupByQuery, opts: &ExecOptions) -> Result<QueryResult> {
         query.validate(&self.rel)?;
         let rel = &self.rel;
-        let mask = query.predicate.eval(rel);
 
         // Inner grouping: (query grouping columns, SF). The unfiltered
         // inner index depends only on the grouping, so the cache can serve
         // it to every predicate over the same grouping.
         let mut inner_cols = query.grouping.clone();
         inner_cols.push(self.sf_col);
-        let inner = grouping_index(rel, &inner_cols, opts);
 
+        // O(groups) fast path: a predicate over the grouping columns is
+        // also constant within each *inner* group (the inner grouping
+        // refines the query grouping), so cached unweighted partials
+        // replace pass 1 entirely.
+        if let Some(cache) = opts.cache {
+            if rel.row_count() > 0 && query.predicate.references_only(&query.grouping) {
+                let inner = cache.index_for(rel, &inner_cols, opts.parallel);
+                let inner_accs = summary_accumulators(rel, &inner, None, query, opts, cache)?;
+                return self.fold_outer(&inner, inner_accs, query);
+            }
+        }
+
+        let mask = query.predicate.eval(rel);
+        let inner = grouping_index(rel, &inner_cols, opts);
         let exprs = masked_exprs(rel, query, &mask)?;
 
         // Pass 1: raw (unscaled) aggregation per inner group.
         let inner_accs = accumulate(&inner, &mask, &exprs, None, query, opts.parallel);
+        self.fold_outer(&inner, inner_accs, query)
+    }
 
-        // Pass 2: scale each inner group once and merge into the outer
-        // group obtained by dropping the trailing SF key value.
+    fn sample_relation(&self) -> &Relation {
+        &self.rel
+    }
+
+    fn rate_change_cost(&self, stratum: u32) -> usize {
+        // Same physical layout as Integrated: per-tuple SF copies.
+        self.stratum_of_row
+            .iter()
+            .filter(|&&s| s == stratum)
+            .count()
+    }
+}
+
+impl NestedIntegrated {
+    /// Pass 2: scale each inner group once and merge into the outer group
+    /// obtained by dropping the trailing SF key value.
+    fn fold_outer(
+        &self,
+        inner: &GroupIndex,
+        inner_accs: Vec<Vec<Accumulator>>,
+        query: &GroupByQuery,
+    ) -> Result<QueryResult> {
         let outer_positions: Vec<usize> = (0..query.grouping.len()).collect();
         let mut outer: std::collections::HashMap<GroupKey, Vec<OuterAcc>> =
             std::collections::HashMap::new();
@@ -139,18 +174,6 @@ impl SamplePlan for NestedIntegrated {
             .map(|(k, accs)| (k, accs.iter().map(OuterAcc::finish).collect()))
             .collect();
         query.apply_having(QueryResult::new(names, rows))
-    }
-
-    fn sample_relation(&self) -> &Relation {
-        &self.rel
-    }
-
-    fn rate_change_cost(&self, stratum: u32) -> usize {
-        // Same physical layout as Integrated: per-tuple SF copies.
-        self.stratum_of_row
-            .iter()
-            .filter(|&&s| s == stratum)
-            .count()
     }
 }
 

@@ -7,9 +7,10 @@
 //! exercised rather than short-circuited.
 
 use engine::{
-    AggregateSpec, ExecOptions, GroupByQuery, Integrated, KeyNormalized, NestedIntegrated,
+    AggregateSpec, ExecOptions, GroupByQuery, Having, Integrated, KeyNormalized, NestedIntegrated,
     Normalized, QueryCache, SamplePlan, StratifiedInput,
 };
+use relation::predicate::CmpOp;
 use relation::{ColumnId, DataType, Expr, GroupKey, Predicate, RelationBuilder, Value};
 
 /// Deterministic pseudo-random stratified sample: `rows` tuples over
@@ -80,8 +81,47 @@ fn queries() -> Vec<GroupByQuery> {
         // Scalar (no grouping).
         GroupByQuery::new(
             vec![],
-            vec![AggregateSpec::sum(v, "s"), AggregateSpec::count("c")],
+            vec![
+                AggregateSpec::sum(v.clone(), "s"),
+                AggregateSpec::count("c"),
+            ],
         ),
+        // Group-only predicate: referenced columns ⊆ grouping columns, so
+        // the cached-summary fast path may serve this without a row scan.
+        GroupByQuery::new(
+            vec![ColumnId(0)],
+            vec![
+                AggregateSpec::sum(v.clone(), "s"),
+                AggregateSpec::count("c"),
+                AggregateSpec::avg(v.clone(), "a"),
+                AggregateSpec::min(v.clone(), "mn"),
+                AggregateSpec::max(v.clone(), "mx"),
+            ],
+        )
+        .with_predicate(Predicate::le(ColumnId(0), 11i64)),
+        // Compound group-only predicate over both grouping columns.
+        GroupByQuery::new(
+            vec![ColumnId(0), ColumnId(1)],
+            vec![
+                AggregateSpec::sum(v.clone(), "s"),
+                AggregateSpec::count("c"),
+            ],
+        )
+        .with_predicate(
+            Predicate::ge(ColumnId(0), 4i64)
+                .and(Predicate::le(ColumnId(1), 5i64).or(Predicate::eq(ColumnId(0), 17i64))),
+        ),
+        // Group-only predicate selecting nothing: the fast path must agree
+        // with the scan path on the empty result too.
+        GroupByQuery::new(vec![ColumnId(0)], vec![AggregateSpec::count("c")])
+            .with_predicate(Predicate::ge(ColumnId(0), 1_000_000i64)),
+        // Group-only predicate combined with HAVING on an estimated sum.
+        GroupByQuery::new(
+            vec![ColumnId(0)],
+            vec![AggregateSpec::sum(v, "s"), AggregateSpec::count("c")],
+        )
+        .with_predicate(Predicate::le(ColumnId(0), 15i64))
+        .with_having(Having::new("s", CmpOp::Gt, 0.0)),
     ]
 }
 
@@ -90,7 +130,7 @@ fn strategies_bit_identical_across_modes_and_cache_states() {
     let s = big_sample(40_000, 20);
     for plan in plans(&s) {
         let cache = QueryCache::new();
-        for q in queries() {
+        for (qi, q) in queries().into_iter().enumerate() {
             let cold_serial = plan.execute_opts(&q, &ExecOptions::default()).unwrap();
             let cold_parallel = plan
                 .execute_opts(
@@ -121,11 +161,17 @@ fn strategies_bit_identical_across_modes_and_cache_states() {
                     },
                 )
                 .unwrap();
-            assert!(
-                !cold_serial.is_empty(),
-                "{}: fixture query empty",
-                plan.name()
-            );
+            // Query 6 selects no groups on purpose (predicate matches no
+            // stratum); every other fixture query must produce rows.
+            if qi == 6 {
+                assert!(cold_serial.is_empty(), "{}: expected empty", plan.name());
+            } else {
+                assert!(
+                    !cold_serial.is_empty(),
+                    "{}: fixture query {qi} empty",
+                    plan.name()
+                );
+            }
             assert_eq!(
                 cold_serial,
                 cold_parallel,

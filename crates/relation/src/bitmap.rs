@@ -56,6 +56,13 @@ impl Bitmap {
         Bitmap::from_fn(bools.len(), |i| bools[i])
     }
 
+    /// Build from per-row dictionary codes and a per-code lookup table —
+    /// the dictionary-domain predicate path: the comparison is decided
+    /// once per distinct value and each row just indexes the table.
+    pub fn from_lut(codes: &[u32], lut: &[bool]) -> Bitmap {
+        Bitmap::from_fn(codes.len(), |i| lut[codes[i] as usize])
+    }
+
     /// Unpack to one `bool` per bit (test/debug convenience).
     pub fn to_bools(&self) -> Vec<bool> {
         (0..self.len).map(|i| self.get(i)).collect()
@@ -295,6 +302,16 @@ mod tests {
         assert!(b.is_empty() && !b.any() && b.all());
         assert_eq!(b.ones().count(), 0);
         assert_eq!(b.to_bools(), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn from_lut_translates_codes() {
+        let codes = [0u32, 2, 1, 2, 0, 1, 1];
+        let lut = [false, true, false];
+        let b = Bitmap::from_lut(&codes, &lut);
+        let want: Vec<bool> = codes.iter().map(|&c| lut[c as usize]).collect();
+        assert_eq!(b.to_bools(), want);
+        assert_eq!(Bitmap::from_lut(&[], &lut).len(), 0);
     }
 
     #[test]

@@ -79,6 +79,12 @@ impl StrColumn {
         &self.dict[code as usize]
     }
 
+    /// The dictionary, indexed by code. Predicates evaluate order
+    /// comparisons once per entry here rather than once per row.
+    pub fn dict(&self) -> &[Arc<str>] {
+        &self.dict
+    }
+
     /// Code of `s` if it has been seen.
     pub fn lookup(&self, s: &str) -> Option<u32> {
         // The interner map is not serialized; fall back to a scan when it is

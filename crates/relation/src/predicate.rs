@@ -215,6 +215,39 @@ impl Predicate {
         self.eval(rel).count_ones() as f64 / rel.row_count() as f64
     }
 
+    /// All column ids the predicate references (deduplicated, in first-
+    /// reference order). `True` references nothing.
+    pub fn referenced_columns(&self) -> Vec<ColumnId> {
+        fn walk(p: &Predicate, out: &mut Vec<ColumnId>) {
+            match p {
+                Predicate::True => {}
+                Predicate::Cmp { col, .. } | Predicate::Between { col, .. } => {
+                    if !out.contains(col) {
+                        out.push(*col);
+                    }
+                }
+                Predicate::And(a, b) | Predicate::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Predicate::Not(a) => walk(a, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// `true` when every referenced column is in `allowed` (vacuously true
+    /// for `True`). Such a predicate is constant within each group of a
+    /// grouping over `allowed`, so it can be decided once per group rather
+    /// than once per row — the property summary-serving fast paths rely on.
+    pub fn references_only(&self, allowed: &[ColumnId]) -> bool {
+        self.referenced_columns()
+            .iter()
+            .all(|c| allowed.contains(c))
+    }
+
     /// Validate that every referenced column exists in the schema.
     pub fn validate(&self, rel: &Relation) -> Result<()> {
         match self {
@@ -282,9 +315,17 @@ fn eval_cmp_vectorized(col: &Column, op: CmpOp, value: &Value) -> Option<Bitmap>
                     }
                     None => Bitmap::new_true(v.len()),
                 }),
-                _ => Some(Bitmap::from_fn(v.len(), |r| {
-                    op.apply(v.get(r).as_ref().cmp(s))
-                })),
+                // Order comparisons run in the dictionary domain: one
+                // string comparison per *distinct* value, then a table
+                // lookup per row via the code vector.
+                _ => {
+                    let lut: Vec<bool> = v
+                        .dict()
+                        .iter()
+                        .map(|d| op.apply(d.as_ref().cmp(s)))
+                        .collect();
+                    Some(Bitmap::from_lut(v.codes(), &lut))
+                }
             }
         }
         (Column::Str(_), _) => None,
@@ -366,6 +407,37 @@ mod tests {
         let r = rel();
         let p = Predicate::le(ColumnId(1), "M"); // only "A" <= "M"
         assert_eq!(p.eval(&r).to_bools(), vec![true, false, false, false, true]);
+        // All four order operators agree with the row-at-a-time path
+        // (the vectorized side evaluates per dictionary code).
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let p = Predicate::Cmp {
+                col: ColumnId(1),
+                op,
+                value: Value::str("N"),
+            };
+            let scalar: Vec<bool> = (0..r.row_count()).map(|i| p.eval_row(&r, i)).collect();
+            assert_eq!(p.eval(&r).to_bools(), scalar, "{op}");
+        }
+    }
+
+    #[test]
+    fn referenced_columns_walk_the_tree() {
+        let p = Predicate::eq(ColumnId(1), "N")
+            .and(Predicate::between(ColumnId(0), 1i64, 3i64))
+            .or(Predicate::ge(ColumnId(1), "A").not());
+        assert_eq!(p.referenced_columns(), vec![ColumnId(1), ColumnId(0)]);
+        assert_eq!(Predicate::True.referenced_columns(), Vec::<ColumnId>::new());
+    }
+
+    #[test]
+    fn references_only_gates_on_allowed_set() {
+        let p = Predicate::eq(ColumnId(1), "N").and(Predicate::ge(ColumnId(0), 2i64));
+        assert!(p.references_only(&[ColumnId(0), ColumnId(1)]));
+        assert!(!p.references_only(&[ColumnId(1)]));
+        assert!(!p.references_only(&[]));
+        // TRUE references nothing, so any allowed set works — including
+        // the empty grouping.
+        assert!(Predicate::True.references_only(&[]));
     }
 
     #[test]
