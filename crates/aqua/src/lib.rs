@@ -57,7 +57,7 @@ pub use config::{AquaConfig, RewriteChoice, SamplingStrategy};
 pub use error::{AquaError, Result};
 pub use manifest::{Manifest, ManifestEntry};
 pub use synopsis::Synopsis;
-pub use system::Aqua;
+pub use system::{Aqua, StatsSnapshot};
 pub use warehouse::{
     OpenReport, RecoveryPolicy, RelationReport, RelationStatus, SaveReport, VerifyReport, Warehouse,
 };

@@ -1,5 +1,7 @@
 //! The synopsis: a maintained biased sample plus its physical query plan.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -87,6 +89,10 @@ pub struct Synopsis {
     /// weights) for the *current* plan generation. Invalidated whenever the
     /// backing sample changes.
     cache: QueryCache,
+    /// Per-synopsis metric registry: maintenance counters and build-phase
+    /// timings live here; the owning [`Aqua`](crate::Aqua) records its
+    /// query spans into the same registry.
+    registry: Arc<obs::Registry>,
 }
 
 impl std::fmt::Debug for Synopsis {
@@ -115,6 +121,7 @@ impl Synopsis {
             sample_rows: 0,
             stale: true,
             cache: QueryCache::new(),
+            registry: Arc::new(obs::Registry::new()),
         })
     }
 
@@ -141,12 +148,17 @@ impl Synopsis {
         }
         self.stale = true;
         self.cache.invalidate();
+        self.registry.counter("synopsis_ingests_total").inc();
+        self.registry
+            .counter("synopsis_ingested_rows_total")
+            .add(rel.row_count() as u64);
         Ok(())
     }
 
     /// Rebuild the physical plan from the maintainer's current sample.
     /// `table` must be the full stored relation (all ingested segments).
     pub fn refresh(&mut self, table: &Relation) -> Result<()> {
+        let timer = obs::Timer::start();
         let mut sample = self.maintainer.snapshot(self.config.space, &mut self.rng)?;
         sample.set_grouping_columns(self.grouping.clone());
         let input = match self.config.strategy {
@@ -162,6 +174,13 @@ impl Synopsis {
         self.sample = Some(sample);
         self.stale = false;
         self.cache.invalidate();
+        self.registry.counter("synopsis_refreshes_total").inc();
+        self.registry
+            .histogram("synopsis_refresh_us")
+            .record(timer.elapsed_us());
+        self.registry
+            .gauge("synopsis_sample_rows")
+            .set(self.sample_rows as i64);
         Ok(())
     }
 
@@ -181,8 +200,18 @@ impl Synopsis {
             .num_threads(self.config.effective_parallelism())
             .build()
             .expect("thread pool construction is infallible in this facade");
+        let total = obs::Timer::start();
+        let registry = Arc::clone(&self.registry);
         let (sample, input) = pool.install(|| -> Result<_> {
+            // The three build phases are timed separately; the sequence
+            // `allocate` → `draw_with_allocation_par` is exactly what
+            // `CongressionalSample::draw_par` runs, so the sample is
+            // unchanged by the instrumentation split.
+            let timer = obs::Timer::start();
             let census = GroupCensus::par_build(table, &self.grouping)?;
+            registry
+                .histogram("synopsis_build_census_us")
+                .record(timer.elapsed_us());
             let spec = SeedSpec::new(self.config.seed);
             let strategy: &dyn AllocationStrategy = match self.config.strategy {
                 SamplingStrategy::House => &congress::alloc::House,
@@ -190,17 +219,26 @@ impl Synopsis {
                 SamplingStrategy::BasicCongress => &congress::alloc::BasicCongress,
                 SamplingStrategy::Congress => &congress::alloc::Congress,
             };
-            let sample = CongressionalSample::draw_par(
+            let timer = obs::Timer::start();
+            let allocation = strategy.allocate(&census, self.config.space as f64)?;
+            registry
+                .histogram("synopsis_build_alloc_us")
+                .record(timer.elapsed_us());
+            let timer = obs::Timer::start();
+            let sample = CongressionalSample::draw_with_allocation_par(
                 table,
                 &census,
-                strategy,
-                self.config.space as f64,
+                &allocation,
+                strategy.name(),
                 &spec,
             )?;
             let input = match self.config.strategy {
                 SamplingStrategy::House => sample.to_stratified_input_uniform(table)?,
                 _ => sample.to_stratified_input(table)?,
             };
+            registry
+                .histogram("synopsis_build_draw_us")
+                .record(timer.elapsed_us());
             Ok((sample, input))
         })?;
         let plan = Self::build_plan(self.config.rewrite, &input)?;
@@ -210,6 +248,13 @@ impl Synopsis {
         self.sample = Some(sample);
         self.stale = false;
         self.cache.invalidate();
+        self.registry.counter("synopsis_rebuilds_total").inc();
+        self.registry
+            .histogram("synopsis_rebuild_us")
+            .record(total.elapsed_us());
+        self.registry
+            .gauge("synopsis_sample_rows")
+            .set(self.sample_rows as i64);
         Ok(())
     }
 
@@ -237,6 +282,13 @@ impl Synopsis {
     /// sample generation they were folded from.
     pub fn query_cache(&self) -> &QueryCache {
         &self.cache
+    }
+
+    /// The metric registry shared by this synopsis and its owning system:
+    /// maintenance counters (`synopsis_*`) accumulate here alongside the
+    /// query-span metrics recorded by [`Aqua`](crate::Aqua).
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.registry
     }
 
     /// Sampled tuples in the materialized synopsis.
@@ -293,7 +345,7 @@ impl Synopsis {
             _ => sample.to_stratified_input(table)?,
         };
         let plan = Self::build_plan(config.rewrite, &input)?;
-        Ok(Synopsis {
+        let syn = Synopsis {
             maintainer: Maintainer::new(config.strategy, config.space, grouping.len()),
             rng: StdRng::seed_from_u64(config.seed),
             config,
@@ -304,7 +356,13 @@ impl Synopsis {
             sample: Some(sample),
             stale: false,
             cache: QueryCache::new(),
-        })
+            registry: Arc::new(obs::Registry::new()),
+        };
+        syn.registry.counter("synopsis_imports_total").inc();
+        syn.registry
+            .gauge("synopsis_sample_rows")
+            .set(syn.sample_rows as i64);
+        Ok(syn)
     }
 }
 

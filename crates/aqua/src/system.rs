@@ -2,8 +2,12 @@
 
 use parking_lot::RwLock;
 
-use engine::{execute_exact, ExecOptions, GroupByQuery, QueryResult};
+use engine::{execute_exact, ExecOptions, ExecTrace, GroupByQuery, QueryResult};
 use relation::{ColumnId, Relation, Value};
+
+/// Serializable point-in-time metrics snapshot returned by
+/// [`Aqua::stats`] (re-exported from the `obs` crate).
+pub use obs::Snapshot as StatsSnapshot;
 
 use crate::answer::{compute_bounds_cached, AnswerProvenance, ApproximateAnswer};
 use crate::config::AquaConfig;
@@ -93,6 +97,22 @@ impl Aqua {
     /// parallel aggregation engages when `config.parallelism` permits more
     /// than one thread. Answers are bit-identical to the cold serial path.
     pub fn answer(&self, query: &GroupByQuery) -> Result<ApproximateAnswer> {
+        let timer = obs::Timer::start();
+        let trace = ExecTrace::new();
+        let result = self.answer_traced(query, if obs::ENABLED { Some(&trace) } else { None });
+        if obs::ENABLED {
+            self.record_query_span(&timer, &trace, result.is_ok());
+        }
+        result
+    }
+
+    /// The untimed answer pipeline; `trace` (when set) receives the
+    /// served-from path and rows touched without affecting the result.
+    fn answer_traced(
+        &self,
+        query: &GroupByQuery,
+        trace: Option<&ExecTrace>,
+    ) -> Result<ApproximateAnswer> {
         self.refresh_if_stale()?;
         let inner = self.inner.read();
         let plan = inner
@@ -103,6 +123,7 @@ impl Aqua {
         let opts = ExecOptions {
             cache: Some(cache),
             parallel: inner.synopsis.config().effective_parallelism() != 1,
+            trace,
         };
         let result = plan.execute_opts(query, &opts)?;
         let input = inner
@@ -117,6 +138,67 @@ impl Aqua {
             confidence,
             provenance: AnswerProvenance::Sampled,
         })
+    }
+
+    /// Record one query span into the synopsis registry: per-(rewrite,
+    /// served-from) counts, end-to-end latency, and rows touched.
+    fn record_query_span(&self, timer: &obs::Timer, trace: &ExecTrace, ok: bool) {
+        let inner = self.inner.read();
+        let registry = inner.synopsis.registry();
+        let rewrite = inner.synopsis.config().rewrite.name();
+        if !ok {
+            registry.counter("aqua_query_errors_total").inc();
+            return;
+        }
+        let served = trace.served().map_or("unknown", |s| s.label());
+        registry
+            .counter(&obs::label(
+                "aqua_queries_total",
+                &[("rewrite", rewrite), ("served", served)],
+            ))
+            .inc();
+        registry
+            .histogram(&obs::label(
+                "aqua_query_latency_us",
+                &[("rewrite", rewrite)],
+            ))
+            .record(timer.elapsed_us());
+        registry
+            .counter("aqua_rows_scanned_total")
+            .add(trace.rows_scanned());
+    }
+
+    /// Point-in-time metrics snapshot: query spans and maintenance
+    /// counters from the synopsis registry, plus the query cache's
+    /// per-kind / per-shard hit-miss breakdown and current table/sample
+    /// size gauges. Under the `obs-off` feature the registry counters are
+    /// all zero but the cache counters (pre-existing, always on) remain.
+    pub fn stats(&self) -> StatsSnapshot {
+        let inner = self.inner.read();
+        let mut snap = inner.synopsis.registry().snapshot();
+        let detail = inner.synopsis.query_cache().stats_detailed();
+        for (name, k) in detail.kinds() {
+            snap.set_counter(&format!("aqua_cache_{name}_hits_total"), k.hits);
+            snap.set_counter(&format!("aqua_cache_{name}_misses_total"), k.misses);
+        }
+        for (i, s) in detail.shards.iter().enumerate() {
+            let shard = i.to_string();
+            snap.set_counter(
+                &obs::label("aqua_cache_shard_hits_total", &[("shard", &shard)]),
+                s.hits,
+            );
+            snap.set_counter(
+                &obs::label("aqua_cache_shard_misses_total", &[("shard", &shard)]),
+                s.misses,
+            );
+        }
+        snap.set_counter("aqua_cache_invalidations_total", detail.invalidations);
+        let total = detail.total();
+        snap.set_counter("aqua_cache_hits_total", total.hits);
+        snap.set_counter("aqua_cache_misses_total", total.misses);
+        snap.set_gauge("aqua_table_rows", inner.table.row_count() as i64);
+        snap.set_gauge("aqua_synopsis_rows", inner.synopsis.sample_rows() as i64);
+        snap
     }
 
     /// Execute the query exactly against the stored table (what the
@@ -152,7 +234,15 @@ impl Aqua {
     pub fn answer_sql(&self, sql: &str) -> Result<(ApproximateAnswer, String)> {
         let (query, rewritten) = {
             let inner = self.inner.read();
-            let query = engine::sql::parse(inner.table.schema(), sql)?;
+            let registry = inner.synopsis.registry();
+            registry.counter("aqua_sql_queries_total").inc();
+            let query = match engine::sql::parse(inner.table.schema(), sql) {
+                Ok(q) => q,
+                Err(e) => {
+                    registry.counter("aqua_sql_parse_errors_total").inc();
+                    return Err(e.into());
+                }
+            };
             let kind = match inner.synopsis.config().rewrite {
                 crate::RewriteChoice::Integrated => engine::sql::render::RewriteKind::Integrated,
                 crate::RewriteChoice::NestedIntegrated => {

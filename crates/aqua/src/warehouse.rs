@@ -80,6 +80,18 @@ pub enum RelationStatus {
     },
 }
 
+impl RelationStatus {
+    /// Stable lowercase label, used as a metric label value.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RelationStatus::Healthy => "healthy",
+            RelationStatus::Rebuilt { .. } => "rebuilt",
+            RelationStatus::Degraded { .. } => "degraded",
+            RelationStatus::Lost { .. } => "lost",
+        }
+    }
+}
+
 /// One relation's recovery report.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelationReport {
@@ -159,6 +171,10 @@ pub struct Warehouse {
     relations: RwLock<HashMap<String, Entry>>,
     /// Last committed save generation (0 = never saved).
     generation: AtomicU64,
+    /// Warehouse-level durability counters (`warehouse_*`); per-relation
+    /// query metrics live in each [`Aqua`]'s own registry and are merged
+    /// in by [`Warehouse::stats`].
+    registry: Arc<obs::Registry>,
 }
 
 /// Store-safe key prefix for a relation name: printable-safe characters
@@ -361,6 +377,9 @@ impl Warehouse {
         match serving {
             Serving::Sampled(aqua) => aqua.answer(query),
             Serving::Degraded(d) => {
+                self.registry
+                    .counter("warehouse_degraded_answers_total")
+                    .inc();
                 let result = execute_exact(&d.table.read(), query)?;
                 Ok(ApproximateAnswer {
                     result,
@@ -427,6 +446,10 @@ impl Warehouse {
         frame.extend_from_slice(&crc32c(&payload).to_be_bytes());
         let key = wal_key(&entry.dir, self.generation.load(Ordering::SeqCst));
         store.append(&key, &frame)?;
+        self.registry.counter("warehouse_wal_appends_total").inc();
+        self.registry
+            .counter("warehouse_wal_appended_bytes_total")
+            .add(frame.len() as u64);
         match &entry.serving {
             Serving::Sampled(aqua) => aqua.insert_batch(rows),
             Serving::Degraded(d) => Self::append_degraded(d, rows),
@@ -520,6 +543,7 @@ impl Warehouse {
     /// the superseded generation runs only after the commit and is
     /// best-effort (stale files are harmless; they are never referenced).
     pub fn save_all(&self, store: &dyn SnapshotStore) -> Result<SaveReport> {
+        let timer = obs::Timer::start();
         // Write lock: no inserts may land between a table export and the
         // manifest commit, or they would be lost from both table and WAL.
         let map = self.relations.write();
@@ -600,6 +624,16 @@ impl Warehouse {
             let _ = store.delete(&wal_key(&entry.dir, old_gen));
         }
 
+        self.registry.counter("warehouse_saves_total").inc();
+        self.registry
+            .counter("warehouse_save_files_total")
+            .add(files_written as u64);
+        self.registry
+            .counter("warehouse_save_bytes_total")
+            .add(bytes_written);
+        self.registry
+            .histogram("warehouse_save_us")
+            .record(timer.elapsed_us());
         Ok(SaveReport {
             generation,
             files_written,
@@ -624,6 +658,8 @@ impl Warehouse {
             }
         })?;
         let manifest = Manifest::parse(&manifest_bytes)?;
+        let registry = Arc::new(obs::Registry::new());
+        registry.counter("warehouse_opens_total").inc();
 
         let mut map = HashMap::new();
         let mut reports = Vec::with_capacity(manifest.entries.len());
@@ -749,6 +785,21 @@ impl Warehouse {
                 Err(e) => return Err(e.into()),
             }
 
+            registry
+                .counter(&obs::label(
+                    "warehouse_recovered_relations_total",
+                    &[("status", report.status.label())],
+                ))
+                .inc();
+            registry
+                .counter("warehouse_wal_replayed_records_total")
+                .add(report.wal_records_replayed as u64);
+            if report.wal_bytes_dropped > 0 {
+                registry.counter("warehouse_wal_truncations_total").inc();
+                registry
+                    .counter("warehouse_wal_dropped_bytes_total")
+                    .add(report.wal_bytes_dropped as u64);
+            }
             reports.push(report);
             map.insert(
                 entry.name.clone(),
@@ -762,6 +813,7 @@ impl Warehouse {
         let warehouse = Warehouse {
             relations: RwLock::new(map),
             generation: AtomicU64::new(manifest.generation),
+            registry,
         };
         Ok((
             warehouse,
@@ -858,6 +910,29 @@ impl Warehouse {
             ok,
             lines,
         })
+    }
+
+    /// Point-in-time metrics snapshot: the warehouse's own durability
+    /// counters (`warehouse_*`) merged with every sampled relation's
+    /// [`Aqua::stats`] (query spans, cache counters, maintenance timings
+    /// — summed across relations). Degraded relations contribute only the
+    /// warehouse-level counters.
+    pub fn stats(&self) -> crate::system::StatsSnapshot {
+        let mut snap = self.registry.snapshot();
+        snap.set_gauge("warehouse_generation", self.generation() as i64);
+        let map = self.relations.read();
+        snap.set_gauge("warehouse_relations", map.len() as i64);
+        for entry in map.values() {
+            if let Serving::Sampled(aqua) = &entry.serving {
+                snap.merge(&aqua.stats());
+            }
+        }
+        snap
+    }
+
+    /// Last committed save generation (0 = never saved).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
     }
 
     /// Open with recovery, then immediately re-save: quarantined blobs are

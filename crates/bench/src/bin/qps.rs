@@ -23,7 +23,8 @@ use aqua::{Aqua, AquaConfig, RewriteChoice, SamplingStrategy};
 use bench::harness::{build_plan, ExperimentSetup};
 use engine::aggregate::Accumulator;
 use engine::{
-    ExecOptions, GroupByQuery, GroupIndex, Integrated, QueryCache, QueryResult, SamplePlan,
+    ExecOptions, ExecTrace, GroupByQuery, GroupIndex, Integrated, QueryCache, QueryResult,
+    SamplePlan,
 };
 use relation::{Bitmap, Relation};
 use tpcd::GeneratorConfig;
@@ -305,6 +306,7 @@ fn main() {
             let opts = ExecOptions {
                 cache: None,
                 parallel,
+                trace: None,
             };
             let r = plan.execute_opts(q, &opts).unwrap();
             std::hint::black_box(r);
@@ -324,6 +326,7 @@ fn main() {
             let opts = ExecOptions {
                 cache: Some(&cache),
                 parallel,
+                trace: None,
             };
             let _ = plan.execute_opts(q, &opts).unwrap();
         }
@@ -331,12 +334,62 @@ fn main() {
             let opts = ExecOptions {
                 cache: Some(&cache),
                 parallel,
+                trace: None,
             };
             let r = plan.execute_opts(q, &opts).unwrap();
             std::hint::black_box(r);
         }));
         let stats = cache.stats();
         eprintln!("    cache: {} hits / {} misses", stats.hits, stats.misses);
+    }
+
+    // Warm-serial again with full per-query observability: a span timer,
+    // an [`ExecTrace`], and registry recording per query — exactly what
+    // `Aqua::answer` adds on top of plan execution. Compared against the
+    // plain warm-serial leg below to price the instrumentation; under
+    // `--features obs-off` the registry calls compile to no-ops and the
+    // two legs should be indistinguishable.
+    let registry = obs::Registry::new();
+    {
+        let cache = QueryCache::new();
+        for q in &workload {
+            let opts = ExecOptions {
+                cache: Some(&cache),
+                parallel: false,
+                trace: None,
+            };
+            let _ = plan.execute_opts(q, &opts).unwrap();
+        }
+        legs.push(measure(
+            "warm-serial-instrumented",
+            "Integrated",
+            &workload,
+            rounds,
+            |q| {
+                let timer = obs::Timer::start();
+                let trace = ExecTrace::new();
+                let opts = ExecOptions {
+                    cache: Some(&cache),
+                    parallel: false,
+                    trace: if obs::ENABLED { Some(&trace) } else { None },
+                };
+                let r = plan.execute_opts(q, &opts).unwrap();
+                std::hint::black_box(r);
+                let served = trace.served().map_or("unknown", |s| s.label());
+                registry
+                    .counter(&obs::label(
+                        "bench_queries_total",
+                        &[("rewrite", "Integrated"), ("served", served)],
+                    ))
+                    .inc();
+                registry
+                    .histogram("bench_query_latency_us")
+                    .record(timer.elapsed_us());
+                registry
+                    .counter("bench_rows_scanned_total")
+                    .add(trace.rows_scanned());
+            },
+        ));
     }
 
     // Unfiltered group-bys only, warm + serial: this isolates the
@@ -348,6 +401,7 @@ fn main() {
         let opts = ExecOptions {
             cache: Some(&cache),
             parallel: false,
+            trace: None,
         };
         for q in &unfiltered {
             let _ = plan.execute_opts(q, &opts).unwrap();
@@ -413,6 +467,7 @@ fn main() {
             let opts = ExecOptions {
                 cache: Some(&cache),
                 parallel: true,
+                trace: None,
             };
             let _ = p.execute_opts(q, &opts).unwrap();
         }
@@ -425,6 +480,7 @@ fn main() {
                 let opts = ExecOptions {
                     cache: Some(&cache),
                     parallel: true,
+                    trace: None,
                 };
                 let r = p.execute_opts(q, &opts).unwrap();
                 std::hint::black_box(r);
@@ -443,6 +499,22 @@ fn main() {
     let leg_qps = |name: &str| legs.iter().find(|l| l.name == name).map_or(0.0, |l| l.qps);
     let scaling_16_vs_1 =
         leg_qps("multi-client-16") / leg_qps("multi-client-1").max(f64::MIN_POSITIVE);
+    // Fractional qps lost to per-query metric recording (negative = noise
+    // in the instrumented leg's favor).
+    let warm_serial_qps = leg_qps("warm-serial");
+    let obs_overhead_frac =
+        1.0 - leg_qps("warm-serial-instrumented") / warm_serial_qps.max(f64::MIN_POSITIVE);
+    println!(
+        "observability: {} — instrumented warm-serial {:.1} q/s vs plain {warm_serial_qps:.1} q/s \
+         (overhead {:.1}%)",
+        if obs::ENABLED {
+            "enabled"
+        } else {
+            "compiled out (obs-off)"
+        },
+        leg_qps("warm-serial-instrumented"),
+        obs_overhead_frac * 100.0
+    );
     let unfiltered_p50 = legs
         .iter()
         .find(|l| l.name == "warm-serial-unfiltered")
@@ -454,7 +526,7 @@ fn main() {
 
     let legs_json: Vec<String> = legs.iter().map(json_leg).collect();
     let json = format!(
-        "{{\n  \"bench\": \"query_fastpath_qps\",\n  \"table_size\": {},\n  \"sample_fraction\": {},\n  \"sample_rows\": {},\n  \"workload_queries\": {},\n  \"rounds\": {},\n  \"quick\": {},\n  \"cpus\": {},\n  \"legs\": [\n    {}\n  ],\n  \"speedup_warm_parallel_vs_legacy\": {:.3},\n  \"warm_serial_unfiltered_p50_us\": {:.2},\n  \"multi_client_scaling_16_vs_1\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"query_fastpath_qps\",\n  \"table_size\": {},\n  \"sample_fraction\": {},\n  \"sample_rows\": {},\n  \"workload_queries\": {},\n  \"rounds\": {},\n  \"quick\": {},\n  \"cpus\": {},\n  \"obs_enabled\": {},\n  \"obs_overhead_frac\": {:.4},\n  \"legs\": [\n    {}\n  ],\n  \"speedup_warm_parallel_vs_legacy\": {:.3},\n  \"warm_serial_unfiltered_p50_us\": {:.2},\n  \"multi_client_scaling_16_vs_1\": {:.3}\n}}\n",
         config.table_size,
         sample_fraction,
         sample_rows,
@@ -462,6 +534,8 @@ fn main() {
         rounds,
         quick,
         std::thread::available_parallelism().map_or(1, |n| n.get()),
+        obs::ENABLED,
+        obs_overhead_frac,
         legs_json.join(",\n    "),
         speedup,
         unfiltered_p50,
@@ -469,6 +543,13 @@ fn main() {
     );
     std::fs::write(out_path, &json).expect("write bench JSON");
     eprintln!("wrote {out_path}");
+
+    // Prometheus exposition of the instrumented leg's registry, next to
+    // the JSON — what a scrape endpoint would serve.
+    let prom_path = format!("{out_path}.prom");
+    std::fs::write(&prom_path, registry.snapshot().to_prometheus())
+        .expect("write Prometheus exposition");
+    eprintln!("wrote {prom_path}");
 
     // Regression gate for CI: warm-serial throughput must stay within 20%
     // of the committed baseline (same hardware class — CI compares runs on
@@ -483,6 +564,18 @@ fn main() {
         );
         if cur_qps < floor {
             eprintln!("FAIL: warm-serial qps regressed more than 20% below baseline");
+            std::process::exit(1);
+        }
+        // Metrics must stay cheap: the fully-instrumented leg may not cost
+        // more than 5% of plain warm-serial throughput.
+        let instr_qps = leg_qps("warm-serial-instrumented");
+        let instr_floor = 0.95 * cur_qps;
+        eprintln!(
+            "check: warm-serial-instrumented {instr_qps:.1} q/s vs plain {cur_qps:.1} q/s \
+             (floor {instr_floor:.1})"
+        );
+        if instr_qps < instr_floor {
+            eprintln!("FAIL: metrics overhead pushed warm-serial qps down more than 5%");
             std::process::exit(1);
         }
     }

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use crate::{CliError, Result};
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["demo", "help", "quiet", "degrade"];
+const BOOLEAN_FLAGS: &[&str] = &["demo", "help", "quiet", "degrade", "prometheus", "json"];
 
 /// Parsed command line: `command [--flag [value]]... [positional]...`.
 #[derive(Debug, Clone, Default)]

@@ -5,12 +5,14 @@ mod inspect;
 mod plan;
 mod query;
 mod sample;
+mod stats;
 mod warehouse;
 
 pub use inspect::inspect;
 pub use plan::plan;
 pub use query::query;
 pub use sample::sample;
+pub use stats::stats;
 pub use warehouse::warehouse;
 
 use crate::args::Args;
@@ -23,10 +25,11 @@ pub fn run(args: &Args) -> Result<String> {
         "plan" => plan(args),
         "query" => query(args),
         "sample" => sample(args),
+        "stats" => stats(args),
         "warehouse" => warehouse(args),
         "" | "help" => Ok(crate::USAGE.to_string()),
         other => Err(format!(
-            "unknown command `{other}` (inspect|plan|query|sample|warehouse)\n\n{}",
+            "unknown command `{other}` (inspect|plan|query|sample|stats|warehouse)\n\n{}",
             crate::USAGE
         )),
     }

@@ -42,6 +42,9 @@ COMMANDS:
   plan       Show the §4 allocation table for a space budget
   query      Answer a SQL query approximately (with exact comparison)
   sample     Draw a sample and write it as a binary snapshot
+  stats      Run a workload and print runtime metrics: query counts per
+             rewrite/served path, latency p50/p95/p99, cache hit rates;
+             with --dir, a saved warehouse's durability counters
   warehouse  Durable persistence: save | open | verify | repair --dir <DIR>
              (checksummed manifest; corrupt synopses are quarantined and
               rebuilt, or served degraded with --degrade)
@@ -64,7 +67,10 @@ COMMON OPTIONS:
                           1 = sequential; same output for any value
   --top <N>               rows to print in tables (default 20)
   --out <FILE>            output path (sample)
-  --dir <DIR>             warehouse directory (warehouse)
+  --dir <DIR>             warehouse directory (warehouse, stats)
+  --repeat <N>            times to replay the stats workload (default 2)
+  --prometheus            stats: Prometheus exposition format
+  --json                  stats: JSON output
   --degrade               on corruption, serve exact scans instead of
                           rebuilding the synopsis (warehouse open/repair)
 
@@ -72,6 +78,7 @@ EXAMPLES:
   congress-cli plan --demo --space 1000
   congress-cli query --demo --space 7000 \\
     \"SELECT l_returnflag, SUM(l_quantity) AS s FROM lineitem GROUP BY l_returnflag\"
+  congress-cli stats --demo --space 5000
   congress-cli warehouse save --demo --space 5000 --dir ./wh
   congress-cli warehouse verify --dir ./wh
   congress-cli warehouse open --dir ./wh

@@ -39,7 +39,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -73,6 +73,80 @@ pub struct ExecOptions<'a> {
     /// Allow chunked parallel aggregation on the current rayon pool.
     /// Only engages above [`PAR_MIN_ROWS`] rows and >1 thread.
     pub parallel: bool,
+    /// Optional per-query trace sink. The executor records which path
+    /// served the answer and how many rows it touched; recording never
+    /// affects the computed result.
+    pub trace: Option<&'a ExecTrace>,
+}
+
+/// Which execution path produced a query's result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// O(groups) answer from cached measure summaries — no row scan.
+    Summary,
+    /// Row scan over the sample with memoized group index / layout /
+    /// weights (a cache was available).
+    CachedScan,
+    /// Row scan with everything recomputed (no cache supplied).
+    ColdScan,
+}
+
+impl ServedFrom {
+    /// Stable lowercase label, used as a metric label value.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServedFrom::Summary => "summary",
+            ServedFrom::CachedScan => "cached_scan",
+            ServedFrom::ColdScan => "cold_scan",
+        }
+    }
+
+    /// All variants, in label order.
+    pub fn all() -> [ServedFrom; 3] {
+        [
+            ServedFrom::Summary,
+            ServedFrom::CachedScan,
+            ServedFrom::ColdScan,
+        ]
+    }
+}
+
+/// Per-query execution trace, written by the executor when
+/// [`ExecOptions::trace`] is set. Interior-mutable so the `ExecOptions`
+/// struct stays `Copy`; one trace must only be used for one query.
+#[derive(Debug, Default)]
+pub struct ExecTrace {
+    /// 0 = unset, else `ServedFrom as u8 + 1`.
+    served: AtomicU8,
+    rows_scanned: AtomicU64,
+}
+
+impl ExecTrace {
+    /// A fresh trace with no path recorded yet.
+    pub fn new() -> ExecTrace {
+        ExecTrace::default()
+    }
+
+    /// Record the serving path and rows touched (executor-internal).
+    pub fn record(&self, served: ServedFrom, rows_scanned: u64) {
+        self.served.store(served as u8 + 1, Ordering::Relaxed);
+        self.rows_scanned.store(rows_scanned, Ordering::Relaxed);
+    }
+
+    /// The path that served the query, if the executor recorded one.
+    pub fn served(&self) -> Option<ServedFrom> {
+        match self.served.load(Ordering::Relaxed) {
+            1 => Some(ServedFrom::Summary),
+            2 => Some(ServedFrom::CachedScan),
+            3 => Some(ServedFrom::ColdScan),
+            _ => None,
+        }
+    }
+
+    /// Rows the executor scanned to answer (0 for summary-served).
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned.load(Ordering::Relaxed)
+    }
 }
 
 /// Hit/miss counters for a [`QueryCache`].
@@ -82,6 +156,72 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compute and insert.
     pub misses: u64,
+}
+
+/// Hit/miss pair for one cache kind or shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KindStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute and insert.
+    pub misses: u64,
+}
+
+impl KindStats {
+    /// Hits over total lookups; 0.0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Full counter breakdown for a [`QueryCache`]: per memoized-structure
+/// kind, per lock shard (for the sharded maps), plus the invalidation
+/// count. `total()` recovers the legacy aggregate [`CacheStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStatsDetail {
+    /// Unfiltered group-index lookups.
+    pub index: KindStats,
+    /// Measure-summary (per-group partials) lookups.
+    pub summary: KindStats,
+    /// Stratum-summary (bounds moments) lookups.
+    pub stratum_summary: KindStats,
+    /// Stratum-layout lookups (single-slot, unsharded).
+    pub layout: KindStats,
+    /// Expanded per-row weight lookups (single-slot, unsharded).
+    pub weights: KindStats,
+    /// Per-lock-shard totals across the three sharded maps.
+    pub shards: Vec<KindStats>,
+    /// Times [`QueryCache::invalidate`] dropped every entry.
+    pub invalidations: u64,
+}
+
+impl CacheStatsDetail {
+    /// `(name, stats)` for every kind, in a stable order.
+    pub fn kinds(&self) -> [(&'static str, KindStats); 5] {
+        [
+            ("index", self.index),
+            ("summary", self.summary),
+            ("stratum_summary", self.stratum_summary),
+            ("layout", self.layout),
+            ("weights", self.weights),
+        ]
+    }
+
+    /// Aggregate hit/miss totals over every kind.
+    pub fn total(&self) -> CacheStats {
+        let mut hits = 0;
+        let mut misses = 0;
+        for (_, k) in self.kinds() {
+            hits += k.hits;
+            misses += k.misses;
+        }
+        CacheStats { hits, misses }
+    }
 }
 
 /// Cached per-group aggregate state for one (grouping, measure, weighting)
@@ -218,9 +358,27 @@ pub struct QueryCache {
     stratum_summaries: Vec<StratumShard>,
     layout: RwLock<Option<Arc<StratumLayout>>>,
     weights: RwLock<Option<Arc<Vec<f64>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Hit/miss counters per cache kind ([`Kind`] order).
+    kind_hits: [AtomicU64; KINDS],
+    kind_misses: [AtomicU64; KINDS],
+    /// Hit/miss counters per lock shard (sharded maps only).
+    shard_hits: Vec<AtomicU64>,
+    shard_misses: Vec<AtomicU64>,
+    invalidations: AtomicU64,
 }
+
+/// Internal index into the per-kind counter arrays; mirrors the field
+/// order of [`CacheStatsDetail`].
+#[derive(Clone, Copy)]
+enum Kind {
+    Index = 0,
+    Summary = 1,
+    StratumSummary = 2,
+    Layout = 3,
+    Weights = 4,
+}
+
+const KINDS: usize = 5;
 
 impl Default for QueryCache {
     fn default() -> Self {
@@ -230,8 +388,11 @@ impl Default for QueryCache {
             stratum_summaries: (0..SHARDS).map(|_| RwLock::default()).collect(),
             layout: RwLock::new(None),
             weights: RwLock::new(None),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            kind_hits: std::array::from_fn(|_| AtomicU64::new(0)),
+            kind_misses: std::array::from_fn(|_| AtomicU64::new(0)),
+            shard_hits: (0..SHARDS).map(|_| AtomicU64::new(0)).collect(),
+            shard_misses: (0..SHARDS).map(|_| AtomicU64::new(0)).collect(),
+            invalidations: AtomicU64::new(0),
         }
     }
 }
@@ -256,16 +417,33 @@ impl QueryCache {
         QueryCache::default()
     }
 
+    #[inline]
+    fn hit(&self, kind: Kind, shard: Option<usize>) {
+        self.kind_hits[kind as usize].fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = shard {
+            self.shard_hits[s].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn miss(&self, kind: Kind, shard: Option<usize>) {
+        self.kind_misses[kind as usize].fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = shard {
+            self.shard_misses[s].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// The *unfiltered* group index of `rel` under `cols`, memoized.
     /// `parallel` only affects how a missing index is built (the sharded
     /// build produces an identical index at any thread count).
     pub fn index_for(&self, rel: &Relation, cols: &[ColumnId], parallel: bool) -> Arc<GroupIndex> {
-        let shard = &self.indexes[shard_of(cols)];
+        let shard_ix = shard_of(cols);
+        let shard = &self.indexes[shard_ix];
         if let Some(ix) = shard.read().get(cols) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hit(Kind::Index, Some(shard_ix));
             return Arc::clone(ix);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.miss(Kind::Index, Some(shard_ix));
         let built = Arc::new(if parallel && rel.row_count() >= PAR_MIN_ROWS {
             GroupIndex::par_build(rel, cols)
         } else {
@@ -286,12 +464,13 @@ impl QueryCache {
         build: impl FnOnce() -> crate::error::Result<Vec<Partial>>,
     ) -> crate::error::Result<Arc<MeasureSummary>> {
         let key: SummaryKey = (cols.to_vec(), measure.to_string(), weighted);
-        let shard = &self.summaries[shard_of(&key)];
+        let shard_ix = shard_of(&key);
+        let shard = &self.summaries[shard_ix];
         if let Some(s) = shard.read().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hit(Kind::Summary, Some(shard_ix));
             return Ok(Arc::clone(s));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.miss(Kind::Summary, Some(shard_ix));
         let built = Arc::new(MeasureSummary::new(build()?));
         Ok(Arc::clone(shard.write().entry(key).or_insert(built)))
     }
@@ -305,12 +484,13 @@ impl QueryCache {
         build: impl FnOnce() -> crate::error::Result<StratumSummary>,
     ) -> crate::error::Result<Arc<StratumSummary>> {
         let key: StratumKey = (cols.to_vec(), measure.to_string());
-        let shard = &self.stratum_summaries[shard_of(&key)];
+        let shard_ix = shard_of(&key);
+        let shard = &self.stratum_summaries[shard_ix];
         if let Some(s) = shard.read().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hit(Kind::StratumSummary, Some(shard_ix));
             return Ok(Arc::clone(s));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.miss(Kind::StratumSummary, Some(shard_ix));
         let built = Arc::new(build()?);
         Ok(Arc::clone(shard.write().entry(key).or_insert(built)))
     }
@@ -318,10 +498,10 @@ impl QueryCache {
     /// The memoized stratum layout, building it via `build` on a miss.
     pub fn layout_for(&self, build: impl FnOnce() -> StratumLayout) -> Arc<StratumLayout> {
         if let Some(l) = &*self.layout.read() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hit(Kind::Layout, None);
             return Arc::clone(l);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.miss(Kind::Layout, None);
         let l = Arc::new(build());
         let mut guard = self.layout.write();
         Arc::clone(guard.get_or_insert(l))
@@ -333,10 +513,10 @@ impl QueryCache {
         build: impl FnOnce() -> crate::error::Result<Vec<f64>>,
     ) -> crate::error::Result<Arc<Vec<f64>>> {
         if let Some(w) = &*self.weights.read() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hit(Kind::Weights, None);
             return Ok(Arc::clone(w));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.miss(Kind::Weights, None);
         let w = Arc::new(build()?);
         let mut guard = self.weights.write();
         Ok(Arc::clone(guard.get_or_insert(w)))
@@ -357,13 +537,34 @@ impl QueryCache {
         }
         *self.layout.write() = None;
         *self.weights.write() = None;
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Lifetime hit/miss counters.
+    /// Lifetime hit/miss counters, aggregated over every cache kind.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+        self.stats_detailed().total()
+    }
+
+    /// Full counter breakdown: per kind, per lock shard, plus the
+    /// invalidation count.
+    pub fn stats_detailed(&self) -> CacheStatsDetail {
+        let kind = |k: Kind| KindStats {
+            hits: self.kind_hits[k as usize].load(Ordering::Relaxed),
+            misses: self.kind_misses[k as usize].load(Ordering::Relaxed),
+        };
+        CacheStatsDetail {
+            index: kind(Kind::Index),
+            summary: kind(Kind::Summary),
+            stratum_summary: kind(Kind::StratumSummary),
+            layout: kind(Kind::Layout),
+            weights: kind(Kind::Weights),
+            shards: (0..SHARDS)
+                .map(|s| KindStats {
+                    hits: self.shard_hits[s].load(Ordering::Relaxed),
+                    misses: self.shard_misses[s].load(Ordering::Relaxed),
+                })
+                .collect(),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -598,6 +799,55 @@ mod tests {
             .unwrap();
         assert!(ran2);
         assert!(format!("{cache:?}").contains("cached_groupings"));
+    }
+
+    #[test]
+    fn detailed_stats_break_down_by_kind_and_shard() {
+        let r = rel(100);
+        let cache = QueryCache::new();
+        cache.index_for(&r, &[ColumnId(0)], false);
+        cache.index_for(&r, &[ColumnId(0)], false);
+        let _ = cache.layout_for(|| StratumLayout::build(&[0, 0], 1));
+        let d = cache.stats_detailed();
+        assert_eq!((d.index.hits, d.index.misses), (1, 1));
+        assert_eq!((d.layout.hits, d.layout.misses), (0, 1));
+        assert_eq!((d.summary.hits, d.summary.misses), (0, 0));
+        // The aggregate view is exactly the per-kind sum.
+        assert_eq!(d.total(), cache.stats());
+        assert_eq!(d.total(), CacheStats { hits: 1, misses: 2 });
+        // Shard counters only track the sharded maps (index lookups here),
+        // and both index lookups hashed to the same shard.
+        let shard_total: u64 = d.shards.iter().map(|s| s.hits + s.misses).sum();
+        assert_eq!(shard_total, 2);
+        assert!(d.shards.iter().any(|s| (s.hits, s.misses) == (1, 1)));
+        assert!((d.index.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(KindStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn invalidations_are_counted() {
+        let cache = QueryCache::new();
+        assert_eq!(cache.stats_detailed().invalidations, 0);
+        cache.invalidate();
+        cache.invalidate();
+        assert_eq!(cache.stats_detailed().invalidations, 2);
+    }
+
+    #[test]
+    fn exec_trace_records_last_path() {
+        let t = ExecTrace::new();
+        assert_eq!(t.served(), None);
+        assert_eq!(t.rows_scanned(), 0);
+        t.record(ServedFrom::ColdScan, 123);
+        assert_eq!(t.served(), Some(ServedFrom::ColdScan));
+        assert_eq!(t.rows_scanned(), 123);
+        t.record(ServedFrom::Summary, 0);
+        assert_eq!(t.served(), Some(ServedFrom::Summary));
+        assert_eq!(t.rows_scanned(), 0);
+        for s in ServedFrom::all() {
+            t.record(s, 1);
+            assert_eq!(t.served(), Some(s));
+        }
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub mod stratified;
 
 pub use aggregate::{AggregateFn, AggregateSpec, Partial};
 pub use cache::{
-    CacheStats, ExecOptions, MeasureSummary, QueryCache, StratumCell, StratumLayout, StratumSummary,
+    CacheStats, CacheStatsDetail, ExecOptions, ExecTrace, KindStats, MeasureSummary, QueryCache,
+    ServedFrom, StratumCell, StratumLayout, StratumSummary,
 };
 pub use error::{EngineError, Result};
 pub use exec::execute_exact;

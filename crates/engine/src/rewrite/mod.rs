@@ -33,7 +33,7 @@ use rayon::prelude::*;
 use relation::{Bitmap, ColumnId, Expr, Predicate, Relation};
 
 use crate::aggregate::{Accumulator, Partial};
-use crate::cache::{ExecOptions, QueryCache};
+use crate::cache::{ExecOptions, QueryCache, ServedFrom};
 use crate::error::Result;
 use crate::grouping::{GroupIndex, PAR_MIN_ROWS};
 use crate::query::GroupByQuery;
@@ -440,11 +440,22 @@ pub(crate) fn aggregate_weighted_opts(
     // bit-identity argument).
     if let Some(cache) = opts.cache {
         if rel.row_count() > 0 && query.predicate.references_only(&query.grouping) {
+            if let Some(trace) = opts.trace {
+                trace.record(ServedFrom::Summary, 0);
+            }
             let index = cache.index_for(rel, &query.grouping, opts.parallel);
             return summary_rows(rel, &index, Some(weights), query, opts, cache);
         }
     }
 
+    if let Some(trace) = opts.trace {
+        let served = if opts.cache.is_some() {
+            ServedFrom::CachedScan
+        } else {
+            ServedFrom::ColdScan
+        };
+        trace.record(served, rel.row_count() as u64);
+    }
     let mask = query.predicate.eval(rel);
     let index = grouping_index(rel, &query.grouping, opts);
     let exprs = masked_exprs(rel, query, &mask)?;

@@ -7,7 +7,7 @@
 use relation::{Column, ColumnId, DataType, Field, GroupKey, Relation};
 
 use crate::aggregate::{Accumulator, AggregateFn};
-use crate::cache::ExecOptions;
+use crate::cache::{ExecOptions, ServedFrom};
 use crate::error::Result;
 use crate::grouping::GroupIndex;
 use crate::query::GroupByQuery;
@@ -107,12 +107,23 @@ impl SamplePlan for NestedIntegrated {
         // replace pass 1 entirely.
         if let Some(cache) = opts.cache {
             if rel.row_count() > 0 && query.predicate.references_only(&query.grouping) {
+                if let Some(trace) = opts.trace {
+                    trace.record(ServedFrom::Summary, 0);
+                }
                 let inner = cache.index_for(rel, &inner_cols, opts.parallel);
                 let inner_accs = summary_accumulators(rel, &inner, None, query, opts, cache)?;
                 return self.fold_outer(&inner, inner_accs, query);
             }
         }
 
+        if let Some(trace) = opts.trace {
+            let served = if opts.cache.is_some() {
+                ServedFrom::CachedScan
+            } else {
+                ServedFrom::ColdScan
+            };
+            trace.record(served, rel.row_count() as u64);
+        }
         let mask = query.predicate.eval(rel);
         let inner = grouping_index(rel, &inner_cols, opts);
         let exprs = masked_exprs(rel, query, &mask)?;

@@ -138,6 +138,7 @@ fn strategies_bit_identical_across_modes_and_cache_states() {
                     &ExecOptions {
                         cache: None,
                         parallel: true,
+                        trace: None,
                     },
                 )
                 .unwrap();
@@ -149,6 +150,7 @@ fn strategies_bit_identical_across_modes_and_cache_states() {
                     &ExecOptions {
                         cache: Some(&cache),
                         parallel: false,
+                        trace: None,
                     },
                 )
                 .unwrap();
@@ -158,6 +160,7 @@ fn strategies_bit_identical_across_modes_and_cache_states() {
                     &ExecOptions {
                         cache: Some(&cache),
                         parallel: true,
+                        trace: None,
                     },
                 )
                 .unwrap();
@@ -211,6 +214,7 @@ fn warm_cache_results_survive_repeated_execution() {
     let opts = ExecOptions {
         cache: Some(&cache),
         parallel: true,
+        trace: None,
     };
     let first = plan.execute_opts(&q, &opts).unwrap();
     for _ in 0..5 {

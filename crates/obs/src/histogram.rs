@@ -1,0 +1,257 @@
+//! Fixed-bucket log-scale histogram: power-of-two buckets so
+//! `bucket_index` is a single `leading_zeros`, recording is two relaxed
+//! atomic adds, and snapshots from independent recorders merge exactly
+//! (bucket-wise addition — no rebinning error).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: bucket 0 holds the value 0, bucket `i >= 1` holds
+/// values in `[2^(i-1), 2^i - 1]` (the last bucket caps at `u64::MAX`).
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a recorded value — `0` for 0, else `64 - leading_zeros(v)`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive `(lo, hi)` bounds of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else if i >= BUCKETS - 1 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (i - 1), (1u64 << i) - 1)
+    }
+}
+
+#[derive(Debug)]
+struct Core {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Core {
+    fn new() -> Core {
+        Core {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Shared handle to a histogram; cloning shares the same underlying
+/// buckets, recording is wait-free.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<Core>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(Core::new()))
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation. No-op under `obs-off`.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::ENABLED {
+            return;
+        }
+        let c = &*self.0;
+        c.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        c.sum.fetch_add(v, Relaxed);
+        c.min.fetch_min(v, Relaxed);
+        c.max.fetch_max(v, Relaxed);
+    }
+
+    /// Take a consistent-by-construction snapshot: `count` is derived
+    /// from the bucket array itself, so quantiles over the snapshot are
+    /// always well defined even while recorders are running.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &*self.0;
+        let buckets: Vec<u64> = c.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: c.sum.load(Relaxed),
+            min: c.min.load(Relaxed),
+            max: c.max.load(Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a histogram's state. `min` is `u64::MAX` when the
+/// histogram is empty (`count == 0`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Fold `other` into `self`: bucket-wise addition, so merging the
+    /// snapshots of N independent recorders equals one recorder that saw
+    /// every observation.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (s, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *s += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Quantile estimate: upper bound of the bucket holding the rank-`q`
+    /// observation, clamped to the observed max. Monotone in `q`;
+    /// returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of recorded values, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} i={i} lo={lo} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_domain() {
+        // Consecutive buckets tile [0, u64::MAX] with no gap or overlap.
+        let mut expect_lo = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expect_lo, "bucket {i}");
+            assert!(hi >= lo);
+            if i + 1 < BUCKETS {
+                expect_lo = hi + 1;
+            } else {
+                assert_eq!(hi, u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_quantile() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 200, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        if crate::ENABLED {
+            assert_eq!(s.count, 6);
+            assert_eq!(s.sum, 1306);
+            assert_eq!(s.min, 1);
+            assert_eq!(s.max, 1000);
+            assert!(s.quantile(0.0) <= s.quantile(0.5));
+            assert!(s.quantile(0.5) <= s.quantile(1.0));
+            assert_eq!(s.quantile(1.0), 1000);
+        } else {
+            assert_eq!(s.count, 0);
+            assert_eq!(s.quantile(0.5), 0);
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_single_recorder() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..100u64 {
+            if v % 2 == 0 {
+                a.record(v * 17);
+            } else {
+                b.record(v * 17);
+            }
+            all.record(v * 17);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+}

@@ -1,0 +1,99 @@
+//! Lock-free runtime metrics for the AQP server: monotonic [`Counter`]s,
+//! [`Gauge`]s, and fixed-bucket log-scale [`Histogram`]s behind a
+//! [`Registry`], with mergeable [`Snapshot`]s rendered as JSON or
+//! Prometheus exposition text.
+//!
+//! Recording is wait-free (relaxed atomic adds on pre-registered handles);
+//! the registry lock is only taken to register a metric or take a
+//! snapshot. The `obs-off` cargo feature compiles every recording call to
+//! a no-op — [`ENABLED`] is `false`, handles still exist and snapshots
+//! still render (all zeros) so callers build unchanged on either leg.
+
+mod histogram;
+mod registry;
+
+pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{Counter, Gauge, Registry, Snapshot};
+
+/// `true` when metric recording is compiled in (the default). The
+/// `obs-off` feature flips this to `false` and every `record`/`inc`/`set`
+/// becomes an empty inlined function the optimizer deletes.
+pub const ENABLED: bool = cfg!(not(feature = "obs-off"));
+
+/// Monotonic stopwatch for span timing. Under `obs-off` it never reads
+/// the clock and [`Timer::elapsed_us`] returns 0.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    #[cfg(not(feature = "obs-off"))]
+    started: std::time::Instant,
+}
+
+impl Timer {
+    #[inline]
+    pub fn start() -> Timer {
+        Timer {
+            #[cfg(not(feature = "obs-off"))]
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Microseconds since [`Timer::start`], saturating at `u64::MAX`.
+    #[inline]
+    pub fn elapsed_us(&self) -> u64 {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
+        }
+        #[cfg(feature = "obs-off")]
+        {
+            0
+        }
+    }
+}
+
+/// Build a metric name with Prometheus-style labels:
+/// `label("aqua_queries_total", &[("served", "summary")])` →
+/// `aqua_queries_total{served="summary"}`. Labels are sorted by the
+/// caller's ordering (keep it stable so names dedupe in the registry).
+pub fn label(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_builds_prometheus_style_names() {
+        assert_eq!(label("x_total", &[]), "x_total");
+        assert_eq!(label("x_total", &[("a", "b")]), "x_total{a=\"b\"}");
+        assert_eq!(
+            label("x_total", &[("a", "b"), ("c", "d")]),
+            "x_total{a=\"b\",c=\"d\"}"
+        );
+    }
+
+    #[test]
+    fn timer_is_monotone() {
+        let t = Timer::start();
+        let a = t.elapsed_us();
+        let b = t.elapsed_us();
+        assert!(b >= a);
+    }
+}

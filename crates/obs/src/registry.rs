@@ -1,0 +1,437 @@
+//! Metric registry: name → handle, get-or-create under a lock that is
+//! only held for registration and snapshots; the returned handles record
+//! through relaxed atomics with no lock at all.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, PoisonError, RwLock};
+
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::{bucket_bounds, Histogram, HistogramSnapshot};
+
+/// Monotonic counter handle; clones share the same cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::ENABLED {
+            self.0.fetch_add(n, Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Signed gauge handle; clones share the same cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::ENABLED {
+            self.0.store(v, Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if crate::ENABLED {
+            self.0.fetch_add(d, Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Named metric store. Handles are registered on first use and cached by
+/// the caller; `snapshot` copies every metric's current value.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        if let Some(m) = self
+            .metrics
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+        {
+            return m.clone();
+        }
+        let mut map = self.metrics.write().unwrap_or_else(PoisonError::into_inner);
+        map.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Get or register a counter. Panics if `name` is already registered
+    /// as a different metric kind (a programming error).
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.get_or_insert(name, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register a gauge. Panics on kind mismatch.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_insert(name, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register a histogram. Panics on kind mismatch.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.get_or_insert(name, || Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Copy the current value of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.metrics.read().unwrap_or_else(PoisonError::into_inner);
+        let mut snap = Snapshot::default();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Point-in-time copy of a registry (plus any counters folded in by the
+/// caller). Mergeable; renders to JSON or Prometheus exposition text.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter value by exact name, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by exact name, 0 if absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Sum of every counter whose name starts with `prefix` — rollup over
+    /// labelled families, e.g. `counter_family("aqua_queries_total")`.
+    pub fn counter_family(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Insert or overwrite a counter (used to fold externally-tracked
+    /// counters, e.g. cache hit counts, into a registry snapshot).
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        self.counters.insert(name.to_string(), v);
+    }
+
+    pub fn set_gauge(&mut self, name: &str, v: i64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Fold `other` into `self`: counters and gauges add, histograms
+    /// merge bucket-wise.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// Hand-rolled JSON (the vendored serde facade does not serialize).
+    /// Histograms are rendered as summary stats plus non-empty buckets.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_map(
+            &mut out,
+            self.counters.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        out.push_str("},\n  \"gauges\": {");
+        push_map(
+            &mut out,
+            self.gauges.iter().map(|(k, v)| (k, v.to_string())),
+        );
+        out.push_str("},\n  \"histograms\": {");
+        push_map(
+            &mut out,
+            self.histograms.iter().map(|(k, h)| (k, histogram_json(h))),
+        );
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Prometheus text exposition (v0.0.4): counters and gauges verbatim,
+    /// histograms as cumulative `_bucket{le=...}` series plus `_sum` and
+    /// `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, v) in &self.counters {
+            prom_type_line(&mut out, name, "counter", &mut last_base);
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            prom_type_line(&mut out, name, "gauge", &mut last_base);
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            prom_type_line(&mut out, name, "histogram", &mut last_base);
+            let (base, labels) = split_labels(name);
+            let mut cum = 0u64;
+            for (i, &b) in h.buckets.iter().enumerate() {
+                if b == 0 {
+                    continue;
+                }
+                cum += b;
+                let le = bucket_bounds(i).1;
+                out.push_str(&format!(
+                    "{base}_bucket{} {cum}\n",
+                    join_labels(labels, &format!("le=\"{le}\""))
+                ));
+            }
+            out.push_str(&format!(
+                "{base}_bucket{} {cum}\n",
+                join_labels(labels, "le=\"+Inf\"")
+            ));
+            out.push_str(&format!("{base}_sum{} {}\n", brace(labels), h.sum));
+            out.push_str(&format!("{base}_count{} {}\n", brace(labels), h.count));
+        }
+        out
+    }
+}
+
+/// `name{a="b"}` → (`name`, `a="b"`); `name` → (`name`, ``).
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, rest.trim_end_matches('}')),
+        None => (name, ""),
+    }
+}
+
+fn join_labels(existing: &str, extra: &str) -> String {
+    if existing.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{{{existing},{extra}}}")
+    }
+}
+
+fn brace(existing: &str) -> String {
+    if existing.is_empty() {
+        String::new()
+    } else {
+        format!("{{{existing}}}")
+    }
+}
+
+fn prom_type_line(out: &mut String, name: &str, kind: &str, last_base: &mut String) {
+    let (base, _) = split_labels(name);
+    if base != last_base {
+        out.push_str(&format!("# TYPE {base} {kind}\n"));
+        *last_base = base.to_string();
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn push_map<'a>(out: &mut String, entries: impl Iterator<Item = (&'a String, String)>) {
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{}\": {v}", json_escape(k)));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let mut buckets = String::from("[");
+    let mut first = true;
+    for (i, &b) in h.buckets.iter().enumerate() {
+        if b == 0 {
+            continue;
+        }
+        if !first {
+            buckets.push(',');
+        }
+        first = false;
+        let (lo, hi) = bucket_bounds(i);
+        buckets.push_str(&format!("[{lo},{hi},{b}]"));
+    }
+    buckets.push(']');
+    let min = if h.count == 0 { 0 } else { h.min };
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"min\": {min}, \"max\": {}, \"mean\": {:.3}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": {buckets}}}",
+        h.count,
+        h.sum,
+        h.max,
+        h.mean(),
+        h.p50(),
+        h.p95(),
+        h.p99(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("c_total");
+        c.inc();
+        c.add(4);
+        let g = r.gauge("g");
+        g.set(7);
+        g.add(-2);
+        let s = r.snapshot();
+        if crate::ENABLED {
+            assert_eq!(s.counter("c_total"), 5);
+            assert_eq!(s.gauge("g"), 5);
+        } else {
+            assert_eq!(s.counter("c_total"), 0);
+            assert_eq!(s.gauge("g"), 0);
+        }
+        // Re-registering returns the same cell.
+        assert_eq!(r.counter("c_total").get(), c.get());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("m");
+        let _ = r.gauge("m");
+    }
+
+    #[test]
+    fn counter_family_sums_labelled_names() {
+        let r = Registry::new();
+        r.counter("q_total{served=\"summary\"}").add(3);
+        r.counter("q_total{served=\"scan\"}").add(2);
+        r.counter("q_unrelated").add(10);
+        let s = r.snapshot();
+        if crate::ENABLED {
+            assert_eq!(s.counter_family("q_total"), 5);
+        } else {
+            assert_eq!(s.counter_family("q_total"), 0);
+        }
+    }
+
+    #[test]
+    fn merge_adds_and_merges() {
+        let r1 = Registry::new();
+        r1.counter("c").add(2);
+        r1.histogram("h").record(10);
+        let r2 = Registry::new();
+        r2.counter("c").add(3);
+        r2.histogram("h").record(1000);
+        let mut s = r1.snapshot();
+        s.merge(&r2.snapshot());
+        if crate::ENABLED {
+            assert_eq!(s.counter("c"), 5);
+            assert_eq!(s.histogram("h").unwrap().count, 2);
+            assert_eq!(s.histogram("h").unwrap().sum, 1010);
+        }
+    }
+
+    #[test]
+    fn renderings_are_well_formed() {
+        let r = Registry::new();
+        r.counter("aqua_queries_total{served=\"summary\"}").add(3);
+        r.gauge("aqua_table_rows").set(100);
+        r.histogram("aqua_query_latency_us").record(250);
+        let s = r.snapshot();
+        let json = s.to_json();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("aqua_queries_total"));
+        let prom = s.to_prometheus();
+        assert!(prom.contains("# TYPE aqua_queries_total counter"));
+        assert!(prom.contains("# TYPE aqua_query_latency_us histogram"));
+        if crate::ENABLED {
+            assert!(prom.contains("aqua_query_latency_us_count 1"));
+            assert!(prom.contains("le=\"+Inf\""));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the log-scale histogram: shard-merge exactness,
+//! bucket-bound containment, and quantile monotonicity.
+
+use obs::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..2_000_000, 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging the snapshots of k independent recorders is exactly equal
+    /// to one recorder that saw every observation, regardless of how the
+    /// observations were sharded.
+    #[test]
+    fn merge_of_shards_equals_single_recorder(
+        vals in values(),
+        shards in 1usize..8,
+    ) {
+        let single = Histogram::new();
+        let parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, &v) in vals.iter().enumerate() {
+            single.record(v);
+            parts[i % shards].record(v);
+        }
+        let mut merged = HistogramSnapshot::default();
+        for p in &parts {
+            merged.merge(&p.snapshot());
+        }
+        prop_assert_eq!(merged, single.snapshot());
+    }
+
+    /// Every value lands in a bucket whose reported bounds contain it,
+    /// and bucket upper bounds are strictly increasing (so cumulative
+    /// walks are well ordered).
+    #[test]
+    fn values_fall_in_reported_bucket_bounds(v in 0u64..=u64::MAX) {
+        let i = bucket_index(v);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "v={} i={} lo={} hi={}", v, i, lo, hi);
+        if i > 0 {
+            prop_assert!(bucket_bounds(i - 1).1 < lo);
+        }
+    }
+
+    /// Quantile estimates are monotone non-decreasing in q and bounded by
+    /// the recorded extremes.
+    #[test]
+    fn quantiles_monotone_in_q(vals in values()) {
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let grid = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let mut prev = 0u64;
+        for &q in &grid {
+            let est = s.quantile(q);
+            prop_assert!(est >= prev, "quantile({}) = {} < quantile at lower q = {}", q, est, prev);
+            prev = est;
+        }
+        if s.count > 0 {
+            prop_assert!(s.quantile(1.0) == s.max);
+            // The p50 estimate is a bucket upper bound at or above the
+            // true median's bucket lower bound: never below min.
+            prop_assert!(s.quantile(0.0) >= bucket_bounds(bucket_index(s.min)).0);
+        }
+    }
+
+    /// Snapshot count always equals the bucket total, and the sum matches
+    /// the serial sum of observations.
+    #[test]
+    fn snapshot_totals_are_exact(vals in values()) {
+        let h = Histogram::new();
+        let mut total = 0u64;
+        for &v in &vals {
+            h.record(v);
+            total += v;
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, s.buckets.iter().sum::<u64>());
+        if obs::ENABLED {
+            prop_assert_eq!(s.count, vals.len() as u64);
+            prop_assert_eq!(s.sum, total);
+        } else {
+            prop_assert_eq!(s.count, 0);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Threaded smoke test: N recorder threads hammer one counter and one
+//! histogram while a reader takes snapshots. Final totals must match the
+//! serial sum, and every intermediate snapshot must be internally
+//! consistent (count == bucket total, per-bucket counts monotone across
+//! snapshots, quantiles monotone in q).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use obs::Registry;
+
+const THREADS: u64 = 8;
+const RECORDS_PER_THREAD: u64 = 20_000;
+
+#[test]
+fn concurrent_recording_is_exact_and_snapshots_consistent() {
+    let registry = Arc::new(Registry::new());
+    let counter = registry.counter("events_total");
+    let hist = registry.histogram("latency_us");
+    let done = Arc::new(AtomicBool::new(false));
+
+    let reader = {
+        let registry = Arc::clone(&registry);
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut prev_buckets: Vec<u64> = Vec::new();
+            let mut prev_count = 0u64;
+            let mut snaps = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let s = registry.snapshot();
+                let h = s.histogram("latency_us").unwrap();
+                // Structural consistency: the snapshot's count is the
+                // bucket total by construction, so quantile walks always
+                // terminate inside the bucket array.
+                assert_eq!(h.count, h.buckets.iter().sum::<u64>());
+                assert!(h.count >= prev_count, "count went backwards");
+                prev_count = h.count;
+                // Recorders only add: no bucket may shrink between
+                // snapshots (a shrink would mean a torn read).
+                if !prev_buckets.is_empty() {
+                    for (i, (&now, &before)) in h.buckets.iter().zip(&prev_buckets).enumerate() {
+                        assert!(now >= before, "bucket {i} shrank: {before} -> {now}");
+                    }
+                }
+                prev_buckets = h.buckets.clone();
+                let mut prev_q = 0u64;
+                for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+                    let est = h.quantile(q);
+                    assert!(est >= prev_q, "quantile not monotone at q={q}");
+                    prev_q = est;
+                }
+                snaps += 1;
+            }
+            snaps
+        })
+    };
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let counter = counter.clone();
+            let hist = hist.clone();
+            thread::spawn(move || {
+                for i in 0..RECORDS_PER_THREAD {
+                    // Deterministic value stream, distinct per thread.
+                    let v = (t * RECORDS_PER_THREAD + i) % 4096;
+                    counter.inc();
+                    hist.record(v);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    done.store(true, Ordering::Release);
+    let snaps_taken = reader.join().unwrap();
+    assert!(snaps_taken > 0, "reader never ran");
+
+    // Final totals match the serial sum exactly.
+    let s = registry.snapshot();
+    let h = s.histogram("latency_us").unwrap();
+    if obs::ENABLED {
+        assert_eq!(s.counter("events_total"), THREADS * RECORDS_PER_THREAD);
+        assert_eq!(h.count, THREADS * RECORDS_PER_THREAD);
+        let expect_sum: u64 = (0..THREADS)
+            .flat_map(|t| (0..RECORDS_PER_THREAD).map(move |i| (t * RECORDS_PER_THREAD + i) % 4096))
+            .sum();
+        assert_eq!(h.sum, expect_sum);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 4095);
+    } else {
+        assert_eq!(s.counter("events_total"), 0);
+        assert_eq!(h.count, 0);
+    }
+}
