@@ -199,15 +199,11 @@ pub fn compute_bounds_cached(
     for strata in per_group.values_mut() {
         strata.sort_unstable_by_key(|&(s, _)| s);
     }
-    // Map result keys back to index group ids.
-    let mut key_to_gid: HashMap<&GroupKey, u32> = HashMap::new();
-    for gid in 0..index.group_count() as u32 {
-        key_to_gid.insert(index.key(gid), gid);
-    }
-
     let mut out = Vec::with_capacity(result.group_count());
     for (key, _) in result.iter() {
-        let Some(&gid) = key_to_gid.get(key) else {
+        // Map result keys back to index group ids via the index's memoized
+        // reverse map (built once per index, shared by every query).
+        let Some(gid) = index.gid_of_key(key) else {
             out.push(GroupBounds {
                 key: key.clone(),
                 bounds: vec![None; aggs],
@@ -302,11 +298,6 @@ fn bounds_from_summaries(
         tables.push(table);
     }
 
-    let mut key_to_gid: HashMap<&GroupKey, u32> = HashMap::new();
-    for gid in 0..index.group_count() as u32 {
-        key_to_gid.insert(index.key(gid), gid);
-    }
-
     let moments = |cell: &StratumCell| Moments {
         n: cell.count,
         sum: cell.sum,
@@ -317,7 +308,7 @@ fn bounds_from_summaries(
 
     let mut out = Vec::with_capacity(result.group_count());
     for (key, _) in result.iter() {
-        let Some(&gid) = key_to_gid.get(key) else {
+        let Some(gid) = index.gid_of_key(key) else {
             out.push(GroupBounds {
                 key: key.clone(),
                 bounds: vec![None; aggs],

@@ -48,6 +48,7 @@ pub mod answer;
 pub mod config;
 pub mod error;
 pub mod manifest;
+pub mod serve_cache;
 pub mod synopsis;
 pub mod system;
 pub mod warehouse;
@@ -56,6 +57,7 @@ pub use answer::{AnswerProvenance, ApproximateAnswer, GroupBounds};
 pub use config::{AquaConfig, RewriteChoice, SamplingStrategy};
 pub use error::{AquaError, Result};
 pub use manifest::{Manifest, ManifestEntry};
+pub use serve_cache::{AnswerCache, AnswerCacheStats, ServedAnswer};
 pub use synopsis::Synopsis;
 pub use system::{Aqua, StatsSnapshot};
 pub use warehouse::{

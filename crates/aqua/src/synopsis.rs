@@ -11,11 +11,12 @@ use congress::build::{
 };
 use congress::{AllocationStrategy, CongressionalSample, GroupCensus, SeedSpec};
 use engine::rewrite::{Integrated, KeyNormalized, NestedIntegrated, Normalized, SamplePlan};
-use engine::{QueryCache, StratifiedInput};
+use engine::{PlanCache, QueryCache, StratifiedInput};
 use relation::{ColumnId, GroupKey, Relation};
 
 use crate::config::{AquaConfig, RewriteChoice, SamplingStrategy};
 use crate::error::Result;
+use crate::serve_cache::AnswerCache;
 
 /// Maintainer dispatch over the four strategies.
 #[derive(Debug, Clone)]
@@ -89,6 +90,14 @@ pub struct Synopsis {
     /// weights) for the *current* plan generation. Invalidated whenever the
     /// backing sample changes.
     cache: QueryCache,
+    /// Normalized SQL → parsed + rewritten plan, so repeated dashboard
+    /// queries skip tokenize/parse/render entirely. Schema-scoped, not
+    /// generation-scoped: plans survive ingest/refresh (see
+    /// [`Self::invalidate_caches`] for why that is sound).
+    plan_cache: PlanCache,
+    /// Normalized SQL → complete served answer for the current synopsis
+    /// generation. Invalidated on the same schedule as `cache`.
+    answer_cache: AnswerCache,
     /// Per-synopsis metric registry: maintenance counters and build-phase
     /// timings live here; the owning [`Aqua`](crate::Aqua) records its
     /// query spans into the same registry.
@@ -121,6 +130,8 @@ impl Synopsis {
             sample_rows: 0,
             stale: true,
             cache: QueryCache::new(),
+            plan_cache: PlanCache::new(),
+            answer_cache: AnswerCache::new(),
             registry: Arc::new(obs::Registry::new()),
         })
     }
@@ -147,7 +158,7 @@ impl Synopsis {
             self.maintainer.insert(first_row + r, &key, &mut self.rng);
         }
         self.stale = true;
-        self.cache.invalidate();
+        self.invalidate_caches();
         self.registry.counter("synopsis_ingests_total").inc();
         self.registry
             .counter("synopsis_ingested_rows_total")
@@ -173,7 +184,7 @@ impl Synopsis {
         self.input = Some(input);
         self.sample = Some(sample);
         self.stale = false;
-        self.cache.invalidate();
+        self.invalidate_caches();
         self.registry.counter("synopsis_refreshes_total").inc();
         self.registry
             .histogram("synopsis_refresh_us")
@@ -247,7 +258,7 @@ impl Synopsis {
         self.input = Some(input);
         self.sample = Some(sample);
         self.stale = false;
-        self.cache.invalidate();
+        self.invalidate_caches();
         self.registry.counter("synopsis_rebuilds_total").inc();
         self.registry
             .histogram("synopsis_rebuild_us")
@@ -256,6 +267,25 @@ impl Synopsis {
             .gauge("synopsis_sample_rows")
             .set(self.sample_rows as i64);
         Ok(())
+    }
+
+    /// Invalidate the generation-scoped serving caches in one breath —
+    /// query cache and answer cache. Runs on each mutation of the backing
+    /// sample (`ingest`, `refresh`, `rebuild_bulk`), always under the
+    /// owning system's write lock, so readers holding the read lock never
+    /// observe a half-invalidated state.
+    ///
+    /// The **plan cache deliberately survives**: a cached plan is a pure
+    /// function of the table schema, the rewrite choice, and the
+    /// normalized SQL — all fixed for the lifetime of a built system —
+    /// while the data a generation change affects is only consulted at
+    /// execution time. Keeping plans across ingest is exactly where the
+    /// cache earns its keep: in a write-heavy workload every repeat query
+    /// after every batch still skips tokenize/parse/render and pays only
+    /// the execution it genuinely owes.
+    fn invalidate_caches(&self) {
+        self.cache.invalidate();
+        self.answer_cache.invalidate();
     }
 
     /// Whether [`Self::refresh`] must run before answering.
@@ -282,6 +312,18 @@ impl Synopsis {
     /// sample generation they were folded from.
     pub fn query_cache(&self) -> &QueryCache {
         &self.cache
+    }
+
+    /// The plan cache (normalized SQL → parsed + rewritten plan) for the
+    /// current synopsis generation; invalidated with [`Self::query_cache`].
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// The answer cache (normalized SQL → complete served answer) for the
+    /// current synopsis generation; invalidated with [`Self::query_cache`].
+    pub fn answer_cache(&self) -> &AnswerCache {
+        &self.answer_cache
     }
 
     /// The metric registry shared by this synopsis and its owning system:
@@ -356,6 +398,8 @@ impl Synopsis {
             sample: Some(sample),
             stale: false,
             cache: QueryCache::new(),
+            plan_cache: PlanCache::new(),
+            answer_cache: AnswerCache::new(),
             registry: Arc::new(obs::Registry::new()),
         };
         syn.registry.counter("synopsis_imports_total").inc();

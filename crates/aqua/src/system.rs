@@ -1,8 +1,10 @@
 //! The [`Aqua`] middleware: stored table + synopsis + query answering.
 
+use std::sync::{Arc, OnceLock};
+
 use parking_lot::RwLock;
 
-use engine::{execute_exact, ExecOptions, ExecTrace, GroupByQuery, QueryResult};
+use engine::{execute_exact, ExecOptions, ExecTrace, GroupByQuery, QueryResult, ServedFrom};
 use relation::{ColumnId, Relation, Value};
 
 /// Serializable point-in-time metrics snapshot returned by
@@ -12,7 +14,102 @@ pub use obs::Snapshot as StatsSnapshot;
 use crate::answer::{compute_bounds_cached, AnswerProvenance, ApproximateAnswer};
 use crate::config::AquaConfig;
 use crate::error::{AquaError, Result};
+use crate::serve_cache::ServedAnswer;
 use crate::synopsis::Synopsis;
+
+/// `served` label for answers returned straight from the answer cache —
+/// such a query never reaches the executor, so [`ExecTrace`] cannot name
+/// its path.
+pub const SERVED_ANSWER_CACHE: &str = "answer_cache";
+
+/// Cached metric handles for the per-query hot path.
+///
+/// The serving profile showed span recording itself as measurable
+/// per-query overhead: every answer paid `obs::label` string formatting
+/// plus three registry `RwLock` + `BTreeMap` lookups. Handles are now
+/// resolved once per (name, label) and memoized in `OnceLock` cells, so
+/// recording a span is a few relaxed atomic adds. Registration stays
+/// *lazy* — a metric family appears in the registry only once the path it
+/// names has actually served a query (the obs contract tests pin this).
+struct QueryMetrics {
+    registry: Arc<obs::Registry>,
+    rewrite: &'static str,
+    /// Per-served-path query counters, found by label. The executor paths
+    /// come from [`ServedFrom::all`]; "unknown" covers a missing trace and
+    /// [`SERVED_ANSWER_CACHE`] the cache-hit path.
+    served: [(&'static str, OnceLock<obs::Counter>); 5],
+    errors: OnceLock<obs::Counter>,
+    latency: OnceLock<obs::Histogram>,
+    rows_scanned: OnceLock<obs::Counter>,
+    sql_queries: OnceLock<obs::Counter>,
+    sql_parse_errors: OnceLock<obs::Counter>,
+}
+
+impl QueryMetrics {
+    fn new(registry: Arc<obs::Registry>, rewrite: &'static str) -> QueryMetrics {
+        let [a, b, c] = ServedFrom::all().map(|s| s.label());
+        QueryMetrics {
+            registry,
+            rewrite,
+            served: [
+                (a, OnceLock::new()),
+                (b, OnceLock::new()),
+                (c, OnceLock::new()),
+                ("unknown", OnceLock::new()),
+                (SERVED_ANSWER_CACHE, OnceLock::new()),
+            ],
+            errors: OnceLock::new(),
+            latency: OnceLock::new(),
+            rows_scanned: OnceLock::new(),
+            sql_queries: OnceLock::new(),
+            sql_parse_errors: OnceLock::new(),
+        }
+    }
+
+    /// Record one successful query span: per-(rewrite, served) count,
+    /// end-to-end latency, rows touched.
+    fn record_query(&self, served: &str, elapsed_us: u64, rows_scanned: u64) {
+        let (label, cell) = self
+            .served
+            .iter()
+            .find(|(l, _)| *l == served)
+            .unwrap_or(&self.served[3]); // closed label set; fall back to "unknown"
+        cell.get_or_init(|| {
+            self.registry.counter(&obs::label(
+                "aqua_queries_total",
+                &[("rewrite", self.rewrite), ("served", label)],
+            ))
+        })
+        .inc();
+        self.latency
+            .get_or_init(|| {
+                self.registry.histogram(&obs::label(
+                    "aqua_query_latency_us",
+                    &[("rewrite", self.rewrite)],
+                ))
+            })
+            .record(elapsed_us);
+        self.rows_scanned
+            .get_or_init(|| self.registry.counter("aqua_rows_scanned_total"))
+            .add(rows_scanned);
+    }
+
+    fn record_error(&self) {
+        self.errors
+            .get_or_init(|| self.registry.counter("aqua_query_errors_total"))
+            .inc();
+    }
+
+    fn sql_queries(&self) -> &obs::Counter {
+        self.sql_queries
+            .get_or_init(|| self.registry.counter("aqua_sql_queries_total"))
+    }
+
+    fn sql_parse_errors(&self) -> &obs::Counter {
+        self.sql_parse_errors
+            .get_or_init(|| self.registry.counter("aqua_sql_parse_errors_total"))
+    }
+}
 
 /// The approximate query answering system of §2, over a single stored
 /// relation (the paper reduces multi-table warehouses to this case via
@@ -23,6 +120,9 @@ use crate::synopsis::Synopsis;
 /// insertions, the next query pays one plan rebuild.
 pub struct Aqua {
     inner: RwLock<Inner>,
+    /// Cached metric handles — outside the lock, so span recording never
+    /// takes it.
+    metrics: QueryMetrics,
 }
 
 struct Inner {
@@ -50,15 +150,18 @@ impl Aqua {
                 "cannot build a synopsis over an empty relation".into(),
             ));
         }
+        let rewrite = config.rewrite.name();
         let mut synopsis = Synopsis::new(config, grouping.clone())?;
         synopsis.ingest(&table, 0)?;
         synopsis.rebuild_bulk(&table)?;
+        let metrics = QueryMetrics::new(Arc::clone(synopsis.registry()), rewrite);
         Ok(Aqua {
             inner: RwLock::new(Inner {
                 table,
                 grouping,
                 synopsis,
             }),
+            metrics,
         })
     }
 
@@ -99,26 +202,56 @@ impl Aqua {
     pub fn answer(&self, query: &GroupByQuery) -> Result<ApproximateAnswer> {
         let timer = obs::Timer::start();
         let trace = ExecTrace::new();
-        let result = self.answer_traced(query, if obs::ENABLED { Some(&trace) } else { None });
+        let result = (|| {
+            let inner = self.read_fresh()?;
+            self.answer_locked(
+                &inner,
+                query,
+                if obs::ENABLED { Some(&trace) } else { None },
+            )
+        })();
         if obs::ENABLED {
-            self.record_query_span(&timer, &trace, result.is_ok());
+            match &result {
+                Ok(_) => {
+                    let served = trace.served().map_or("unknown", |s| s.label());
+                    self.metrics
+                        .record_query(served, timer.elapsed_us(), trace.rows_scanned());
+                }
+                Err(_) => self.metrics.record_error(),
+            }
         }
         result
     }
 
-    /// The untimed answer pipeline; `trace` (when set) receives the
-    /// served-from path and rows touched without affecting the result.
-    fn answer_traced(
+    /// Take the read lock with a *fresh* synopsis: probe staleness under
+    /// the read lock, refreshing (write lock) and retrying as needed. The
+    /// returned guard pins the generation — while held, no writer can
+    /// ingest, refresh, or invalidate, so anything computed from it may be
+    /// published to the generation-scoped caches before release.
+    fn read_fresh(&self) -> Result<parking_lot::RwLockReadGuard<'_, Inner>> {
+        loop {
+            let inner = self.inner.read();
+            if !inner.synopsis.is_stale() {
+                return Ok(inner);
+            }
+            drop(inner);
+            self.refresh_if_stale()?;
+        }
+    }
+
+    /// The answer pipeline against an already-locked, already-fresh inner
+    /// state; `trace` (when set) receives the served-from path and rows
+    /// touched without affecting the result.
+    fn answer_locked(
         &self,
+        inner: &Inner,
         query: &GroupByQuery,
         trace: Option<&ExecTrace>,
     ) -> Result<ApproximateAnswer> {
-        self.refresh_if_stale()?;
-        let inner = self.inner.read();
         let plan = inner
             .synopsis
             .plan()
-            .expect("refresh_if_stale materialized the plan");
+            .expect("read_fresh materialized the plan");
         let cache = inner.synopsis.query_cache();
         let opts = ExecOptions {
             cache: Some(cache),
@@ -129,7 +262,7 @@ impl Aqua {
         let input = inner
             .synopsis
             .input()
-            .expect("refresh_if_stale materialized the input");
+            .expect("read_fresh materialized the input");
         let confidence = inner.synopsis.config().confidence;
         let bounds = compute_bounds_cached(input, query, &result, confidence, Some(cache))?;
         Ok(ApproximateAnswer {
@@ -138,34 +271,6 @@ impl Aqua {
             confidence,
             provenance: AnswerProvenance::Sampled,
         })
-    }
-
-    /// Record one query span into the synopsis registry: per-(rewrite,
-    /// served-from) counts, end-to-end latency, and rows touched.
-    fn record_query_span(&self, timer: &obs::Timer, trace: &ExecTrace, ok: bool) {
-        let inner = self.inner.read();
-        let registry = inner.synopsis.registry();
-        let rewrite = inner.synopsis.config().rewrite.name();
-        if !ok {
-            registry.counter("aqua_query_errors_total").inc();
-            return;
-        }
-        let served = trace.served().map_or("unknown", |s| s.label());
-        registry
-            .counter(&obs::label(
-                "aqua_queries_total",
-                &[("rewrite", rewrite), ("served", served)],
-            ))
-            .inc();
-        registry
-            .histogram(&obs::label(
-                "aqua_query_latency_us",
-                &[("rewrite", rewrite)],
-            ))
-            .record(timer.elapsed_us());
-        registry
-            .counter("aqua_rows_scanned_total")
-            .add(trace.rows_scanned());
     }
 
     /// Point-in-time metrics snapshot: query spans and maintenance
@@ -196,6 +301,24 @@ impl Aqua {
         let total = detail.total();
         snap.set_counter("aqua_cache_hits_total", total.hits);
         snap.set_counter("aqua_cache_misses_total", total.misses);
+        let plan = inner.synopsis.plan_cache().stats();
+        snap.set_counter("aqua_plan_cache_hits_total", plan.hits);
+        snap.set_counter("aqua_plan_cache_misses_total", plan.misses);
+        snap.set_counter("aqua_plan_cache_invalidations_total", plan.invalidations);
+        snap.set_gauge("aqua_plan_cache_entries", plan.entries as i64);
+        snap.set_gauge(
+            "aqua_plan_cache_hit_rate_permille",
+            (plan.hit_rate() * 1000.0).round() as i64,
+        );
+        let ans = inner.synopsis.answer_cache().stats();
+        snap.set_counter("aqua_answer_cache_hits_total", ans.hits);
+        snap.set_counter("aqua_answer_cache_misses_total", ans.misses);
+        snap.set_counter("aqua_answer_cache_invalidations_total", ans.invalidations);
+        snap.set_gauge("aqua_answer_cache_entries", ans.entries as i64);
+        snap.set_gauge(
+            "aqua_answer_cache_hit_rate_permille",
+            (ans.hit_rate() * 1000.0).round() as i64,
+        );
         snap.set_gauge("aqua_table_rows", inner.table.row_count() as i64);
         snap.set_gauge("aqua_synopsis_rows", inner.synopsis.sample_rows() as i64);
         snap
@@ -231,38 +354,113 @@ impl Aqua {
     /// table's schema, answer it approximately, and return the answer
     /// along with the rewritten-SQL text the configured strategy would
     /// send to a back-end DBMS (Figures 8–11).
+    ///
+    /// This is the clone-per-call convenience wrapper around
+    /// [`Self::answer_sql_shared`]; servers should call the shared form
+    /// and keep the `Arc`.
     pub fn answer_sql(&self, sql: &str) -> Result<(ApproximateAnswer, String)> {
-        let (query, rewritten) = {
-            let inner = self.inner.read();
-            let registry = inner.synopsis.registry();
-            registry.counter("aqua_sql_queries_total").inc();
-            let query = match engine::sql::parse(inner.table.schema(), sql) {
-                Ok(q) => q,
-                Err(e) => {
-                    registry.counter("aqua_sql_parse_errors_total").inc();
-                    return Err(e.into());
+        let served = self.answer_sql_shared(sql)?;
+        Ok((served.answer.clone(), served.rewritten.clone()))
+    }
+
+    /// The serving fast path: answer SQL through the plan cache and the
+    /// answer cache, returning a shared [`ServedAnswer`].
+    ///
+    /// The SQL text is first normalized (case / whitespace / literal
+    /// formatting folded — see [`engine::sql::normalize`]) and the
+    /// normalized text is both the cache key *and* what gets parsed on a
+    /// miss, so equivalent spellings share one plan and one answer.
+    /// Repeat queries cost one hash probe + `Arc` bump; plans survive
+    /// answer-cache invalidation only until the next ingest (both caches
+    /// are generation-scoped, cleared under the write lock).
+    pub fn answer_sql_shared(&self, sql: &str) -> Result<Arc<ServedAnswer>> {
+        let timer = obs::Timer::start();
+        if obs::ENABLED {
+            self.metrics.sql_queries().inc();
+        }
+        let key = match engine::sql::normalize(sql) {
+            Ok(k) => k,
+            Err(e) => {
+                if obs::ENABLED {
+                    self.metrics.sql_parse_errors().inc();
                 }
-            };
-            let kind = match inner.synopsis.config().rewrite {
-                crate::RewriteChoice::Integrated => engine::sql::render::RewriteKind::Integrated,
-                crate::RewriteChoice::NestedIntegrated => {
-                    engine::sql::render::RewriteKind::NestedIntegrated
-                }
-                crate::RewriteChoice::Normalized => engine::sql::render::RewriteKind::Normalized,
-                crate::RewriteChoice::KeyNormalized => {
-                    engine::sql::render::RewriteKind::KeyNormalized
-                }
-            };
-            let rewritten = engine::sql::render_rewritten(
-                &query,
-                inner.table.schema(),
-                kind,
-                "samp_rel",
-                "aux_rel",
-            )?;
-            (query, rewritten)
+                return Err(e.into());
+            }
         };
-        Ok((self.answer(&query)?, rewritten))
+        // Hold the read lock across lookup, compute, AND insert: the guard
+        // pins the synopsis generation, so a cached entry always matches
+        // what recomputing now would return, and an insert can never land
+        // after the invalidation of the generation it was computed in.
+        let inner = self.read_fresh()?;
+        if let Some(served) = inner.synopsis.answer_cache().get(&key) {
+            if obs::ENABLED {
+                self.metrics
+                    .record_query(SERVED_ANSWER_CACHE, timer.elapsed_us(), 0);
+            }
+            return Ok(served);
+        }
+        let plan_cache = inner.synopsis.plan_cache();
+        let plan = match plan_cache.get(&key) {
+            Some(p) => p,
+            None => {
+                let query = match engine::sql::parse(inner.table.schema(), &key) {
+                    Ok(q) => q,
+                    Err(e) => {
+                        if obs::ENABLED {
+                            self.metrics.sql_parse_errors().inc();
+                        }
+                        return Err(e.into());
+                    }
+                };
+                let kind = match inner.synopsis.config().rewrite {
+                    crate::RewriteChoice::Integrated => {
+                        engine::sql::render::RewriteKind::Integrated
+                    }
+                    crate::RewriteChoice::NestedIntegrated => {
+                        engine::sql::render::RewriteKind::NestedIntegrated
+                    }
+                    crate::RewriteChoice::Normalized => {
+                        engine::sql::render::RewriteKind::Normalized
+                    }
+                    crate::RewriteChoice::KeyNormalized => {
+                        engine::sql::render::RewriteKind::KeyNormalized
+                    }
+                };
+                let rewritten = engine::sql::render_rewritten(
+                    &query,
+                    inner.table.schema(),
+                    kind,
+                    "samp_rel",
+                    "aux_rel",
+                )?;
+                plan_cache.insert(key.clone(), engine::CachedPlan { query, rewritten })
+            }
+        };
+        let trace = ExecTrace::new();
+        let result = self.answer_locked(
+            &inner,
+            &plan.query,
+            if obs::ENABLED { Some(&trace) } else { None },
+        );
+        let answer = match result {
+            Ok(a) => a,
+            Err(e) => {
+                if obs::ENABLED {
+                    self.metrics.record_error();
+                }
+                return Err(e);
+            }
+        };
+        if obs::ENABLED {
+            let served = trace.served().map_or("unknown", |s| s.label());
+            self.metrics
+                .record_query(served, timer.elapsed_us(), trace.rows_scanned());
+        }
+        let served = Arc::new(ServedAnswer {
+            answer,
+            rewritten: plan.rewritten.clone(),
+        });
+        Ok(inner.synopsis.answer_cache().insert(key, served))
     }
 
     /// Parse SQL against the stored table's schema and execute it exactly
@@ -292,14 +490,17 @@ impl Aqua {
         config: AquaConfig,
         snapshot: bytes::Bytes,
     ) -> Result<Aqua> {
+        let rewrite = config.rewrite.name();
         let synopsis = Synopsis::import(config, &table, snapshot)?;
         let grouping = synopsis.grouping().to_vec();
+        let metrics = QueryMetrics::new(Arc::clone(synopsis.registry()), rewrite);
         Ok(Aqua {
             inner: RwLock::new(Inner {
                 table,
                 grouping,
                 synopsis,
             }),
+            metrics,
         })
     }
 

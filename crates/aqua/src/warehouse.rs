@@ -393,6 +393,35 @@ impl Warehouse {
         }
     }
 
+    /// Answer SQL against the named relation through the serving fast
+    /// path ([`Aqua::answer_sql_shared`]: plan cache + answer cache). A
+    /// degraded relation parses and scans exactly, with an empty
+    /// `rewritten` (there is no synopsis to rewrite against).
+    pub fn answer_sql(&self, name: &str, sql: &str) -> Result<Arc<crate::ServedAnswer>> {
+        match self.serving(name)? {
+            Serving::Sampled(aqua) => aqua.answer_sql_shared(sql),
+            Serving::Degraded(d) => {
+                self.registry
+                    .counter("warehouse_degraded_answers_total")
+                    .inc();
+                let table = d.table.read();
+                let query = engine::sql::parse(table.schema(), sql)?;
+                let result = execute_exact(&table, &query)?;
+                Ok(Arc::new(crate::ServedAnswer {
+                    answer: ApproximateAnswer {
+                        result,
+                        bounds: Vec::new(),
+                        confidence: 1.0,
+                        provenance: AnswerProvenance::ExactFallback {
+                            reason: d.reason.clone(),
+                        },
+                    },
+                    rewritten: String::new(),
+                }))
+            }
+        }
+    }
+
     /// Exact answer against the named relation's stored table.
     pub fn exact(&self, name: &str, query: &GroupByQuery) -> Result<QueryResult> {
         match self.serving(name)? {

@@ -17,6 +17,9 @@
 //!
 //! Run: `cargo run -p bench --release --bin qps [-- --quick] [--out f.json]`
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aqua::{Aqua, AquaConfig, RewriteChoice, SamplingStrategy};
@@ -160,6 +163,165 @@ fn measure_multi(
                             let t0 = Instant::now();
                             let a = aqua.answer(q).unwrap();
                             std::hint::black_box(a);
+                            lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            lat_us.extend(h.join().unwrap());
+        }
+    });
+    let total: Duration = wall.elapsed();
+    lat_us.sort_by(f64::total_cmp);
+    let leg = LegResult {
+        name: name.to_string(),
+        rewrite: "Integrated",
+        p50_us: percentile(&lat_us, 50.0),
+        p99_us: percentile(&lat_us, 99.0),
+        qps: lat_us.len() as f64 / total.as_secs_f64(),
+    };
+    eprintln!(
+        "  {:<28} p50 {:>9.1} µs  p99 {:>9.1} µs  {:>10.1} q/s (aggregate)",
+        format!("{} ({})", leg.name, leg.rewrite),
+        leg.p50_us,
+        leg.p99_us,
+        leg.qps
+    );
+    leg
+}
+
+/// Like [`measure_multi`], but through the full serving path: SQL text in,
+/// normalization + plan cache + answer cache, answer out. This is the path
+/// `serve` exposes over HTTP, minus the network.
+fn measure_multi_served(
+    name: &str,
+    aqua: &Aqua,
+    sqls: &[String],
+    rounds: usize,
+    clients: usize,
+) -> LegResult {
+    let mut lat_us: Vec<f64> = Vec::with_capacity(sqls.len() * rounds * clients);
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(sqls.len() * rounds);
+                    for r in 0..rounds {
+                        for i in 0..sqls.len() {
+                            let sql = &sqls[(i + c + r) % sqls.len()];
+                            let t0 = Instant::now();
+                            let a = aqua.answer_sql_shared(sql).unwrap();
+                            std::hint::black_box(a);
+                            lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            lat_us.extend(h.join().unwrap());
+        }
+    });
+    let total: Duration = wall.elapsed();
+    lat_us.sort_by(f64::total_cmp);
+    let leg = LegResult {
+        name: name.to_string(),
+        rewrite: "Integrated",
+        p50_us: percentile(&lat_us, 50.0),
+        p99_us: percentile(&lat_us, 99.0),
+        qps: lat_us.len() as f64 / total.as_secs_f64(),
+    };
+    eprintln!(
+        "  {:<28} p50 {:>9.1} µs  p99 {:>9.1} µs  {:>10.1} q/s (aggregate)",
+        format!("{} ({})", leg.name, leg.rewrite),
+        leg.p50_us,
+        leg.p99_us,
+        leg.qps
+    );
+    leg
+}
+
+/// One keep-alive HTTP round trip: POST the SQL, read the full response,
+/// return the status code.
+fn http_roundtrip(stream: &mut TcpStream, sql: &str) -> std::io::Result<u16> {
+    let req = format!(
+        "POST /query HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{}",
+        sql.len(),
+        sql
+    );
+    stream.write_all(req.as_bytes())?;
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut tmp = [0u8; 8192];
+    let (head_end, content_length, status) = loop {
+        let n = stream.read(&mut tmp)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed mid-response",
+            ));
+        }
+        buf.extend_from_slice(&tmp[..n]);
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&buf[..pos]).expect("ASCII head");
+            let status: u16 = head
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .expect("status code");
+            let content_length: usize = head
+                .lines()
+                .find_map(|l| {
+                    let (k, v) = l.split_once(':')?;
+                    if k.eq_ignore_ascii_case("content-length") {
+                        v.trim().parse().ok()
+                    } else {
+                        None
+                    }
+                })
+                .unwrap_or(0);
+            break (pos + 4, content_length, status);
+        }
+    };
+    while buf.len() < head_end + content_length {
+        let n = stream.read(&mut tmp)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&tmp[..n]);
+    }
+    Ok(status)
+}
+
+/// N persistent HTTP connections replay the workload against a live
+/// [`server::Server`]. Aggregate qps, real sockets and JSON rendering
+/// included.
+fn measure_http(
+    name: &str,
+    addr: std::net::SocketAddr,
+    sqls: &[String],
+    rounds: usize,
+    clients: usize,
+) -> LegResult {
+    let mut lat_us: Vec<f64> = Vec::with_capacity(sqls.len() * rounds * clients);
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+                    stream.set_nodelay(true).ok();
+                    let mut lat = Vec::with_capacity(sqls.len() * rounds);
+                    for r in 0..rounds {
+                        for i in 0..sqls.len() {
+                            let sql = &sqls[(i + c + r) % sqls.len()];
+                            let t0 = Instant::now();
+                            let status = http_roundtrip(&mut stream, sql).expect("round trip");
+                            assert_eq!(status, 200, "bench query failed: {sql}");
                             lat.push(t0.elapsed().as_secs_f64() * 1e6);
                         }
                     }
@@ -420,8 +582,8 @@ fn main() {
 
     // Multi-client legs: N threads hammer one shared `Aqua` system (its
     // synopsis cache behind sharded RwLocks), reporting aggregate qps.
-    {
-        let aqua = Aqua::build(
+    let aqua = Arc::new(
+        Aqua::build(
             setup.dataset.relation.clone(),
             setup.qg3.grouping.clone(),
             AquaConfig {
@@ -433,20 +595,101 @@ fn main() {
                 parallelism: 1,
             },
         )
-        .expect("aqua builds");
-        // One untimed pass warms every summary table.
-        for q in &workload {
-            let _ = aqua.answer(q).unwrap();
-        }
-        for clients in [1usize, 4, 16] {
-            legs.push(measure_multi(
-                &format!("multi-client-{clients}"),
-                &aqua,
-                &workload,
+        .expect("aqua builds"),
+    );
+    // One untimed pass warms every summary table.
+    for q in &workload {
+        let _ = aqua.answer(q).unwrap();
+    }
+    for clients in [1usize, 4, 16] {
+        legs.push(measure_multi(
+            &format!("multi-client-{clients}"),
+            &aqua,
+            &workload,
+            rounds,
+            clients,
+        ));
+    }
+
+    // The workload rendered back to SQL text, for the serving path: the
+    // queries arrive over the wire as strings, exactly as `serve` sees them.
+    let workload_sql: Vec<String> = {
+        let schema = aqua.table_snapshot().schema().clone();
+        workload
+            .iter()
+            .map(|q| engine::sql::render(q, &schema, "lineitem").expect("workload renders"))
+            .collect()
+    };
+
+    // Served multi-client legs: the same threads, but entering through
+    // `answer_sql` — SQL normalization, the plan cache, and the answer
+    // cache all in the path. Steady state is an answer-cache hit: one
+    // normalization + one hash probe + an Arc clone, no per-query plan.
+    for q in &workload_sql {
+        let _ = aqua.answer_sql(q).unwrap();
+    }
+    for clients in [1usize, 4, 16] {
+        legs.push(measure_multi_served(
+            &format!("served-multi-client-{clients}"),
+            &aqua,
+            &workload_sql,
+            rounds,
+            clients,
+        ));
+    }
+    // An ingest clears the answer cache (data changed) but not the plan
+    // cache (schema didn't): the replay after it is the plan-cache hit
+    // path — parse and rewrite skipped, execution redone against the new
+    // generation. This is where the plan cache earns its keep.
+    {
+        let batch: Vec<Vec<relation::Value>> = (0..64)
+            .map(|i| setup.dataset.relation.row(i).expect("row exists"))
+            .collect();
+        aqua.insert_batch(&batch).expect("ingest succeeds");
+        legs.push(measure_multi_served(
+            "served-post-ingest-4",
+            &aqua,
+            &workload_sql,
+            rounds,
+            4,
+        ));
+    }
+    let aqua_stats = aqua.stats();
+    let plan_hit_permille = aqua_stats.gauge("aqua_plan_cache_hit_rate_permille");
+    let answer_hits = aqua_stats.counter("aqua_answer_cache_hits_total");
+    let answer_misses = aqua_stats.counter("aqua_answer_cache_misses_total");
+    let answer_hit_rate = answer_hits as f64 / (answer_hits + answer_misses).max(1) as f64;
+    eprintln!(
+        "    serving caches: plan hit rate {:.1}%, answer hit rate {:.1}% ({answer_hits} hits)",
+        plan_hit_permille as f64 / 10.0,
+        answer_hit_rate * 100.0
+    );
+
+    // HTTP legs: a live `server::Server` on a loopback ephemeral port, N
+    // persistent connections POSTing the SQL workload. Prices the full
+    // stack — sockets, HTTP parsing, JSON rendering — on top of the
+    // served path above.
+    {
+        let http = server::Server::bind(
+            server::ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 0,
+                queue_depth: 256,
+            },
+            Arc::clone(&aqua) as Arc<dyn server::QueryBackend>,
+        )
+        .expect("bench server binds");
+        let addr = http.local_addr();
+        for clients in [1usize, 4] {
+            legs.push(measure_http(
+                &format!("http-multi-{clients}"),
+                addr,
+                &workload_sql,
                 rounds,
                 clients,
             ));
         }
+        http.shutdown();
     }
 
     // Warm-parallel coverage for the other three rewrite strategies.
@@ -523,10 +766,19 @@ fn main() {
         "warm-serial-unfiltered p50: {unfiltered_p50:.1} µs; 16-client vs 1-client aggregate: {scaling_16_vs_1:.2}x ({} cpus)",
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
+    println!(
+        "serving path: served-multi-4 {:.1} q/s vs structured multi-4 {:.1} q/s; \
+         http-multi-4 {:.1} q/s; plan-cache hit rate {:.1}%, answer-cache hit rate {:.1}%",
+        leg_qps("served-multi-client-4"),
+        leg_qps("multi-client-4"),
+        leg_qps("http-multi-4"),
+        plan_hit_permille as f64 / 10.0,
+        answer_hit_rate * 100.0
+    );
 
     let legs_json: Vec<String> = legs.iter().map(json_leg).collect();
     let json = format!(
-        "{{\n  \"bench\": \"query_fastpath_qps\",\n  \"table_size\": {},\n  \"sample_fraction\": {},\n  \"sample_rows\": {},\n  \"workload_queries\": {},\n  \"rounds\": {},\n  \"quick\": {},\n  \"cpus\": {},\n  \"obs_enabled\": {},\n  \"obs_overhead_frac\": {:.4},\n  \"legs\": [\n    {}\n  ],\n  \"speedup_warm_parallel_vs_legacy\": {:.3},\n  \"warm_serial_unfiltered_p50_us\": {:.2},\n  \"multi_client_scaling_16_vs_1\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"query_fastpath_qps\",\n  \"table_size\": {},\n  \"sample_fraction\": {},\n  \"sample_rows\": {},\n  \"workload_queries\": {},\n  \"rounds\": {},\n  \"quick\": {},\n  \"cpus\": {},\n  \"obs_enabled\": {},\n  \"obs_overhead_frac\": {:.4},\n  \"legs\": [\n    {}\n  ],\n  \"speedup_warm_parallel_vs_legacy\": {:.3},\n  \"warm_serial_unfiltered_p50_us\": {:.2},\n  \"multi_client_scaling_16_vs_1\": {:.3},\n  \"served_vs_structured_multi_4\": {:.3},\n  \"plan_cache_hit_rate\": {:.4},\n  \"answer_cache_hit_rate\": {:.4}\n}}\n",
         config.table_size,
         sample_fraction,
         sample_rows,
@@ -539,7 +791,10 @@ fn main() {
         legs_json.join(",\n    "),
         speedup,
         unfiltered_p50,
-        scaling_16_vs_1
+        scaling_16_vs_1,
+        leg_qps("served-multi-client-4") / leg_qps("multi-client-4").max(f64::MIN_POSITIVE),
+        plan_hit_permille as f64 / 1000.0,
+        answer_hit_rate
     );
     std::fs::write(out_path, &json).expect("write bench JSON");
     eprintln!("wrote {out_path}");
@@ -577,6 +832,34 @@ fn main() {
         if instr_qps < instr_floor {
             eprintln!("FAIL: metrics overhead pushed warm-serial qps down more than 5%");
             std::process::exit(1);
+        }
+        // Serving path: the answer-cache steady state must hold up under
+        // concurrency — 4 served clients within 20% of the baseline run.
+        if let Some(base_served) = scrape_qps(&baseline, "served-multi-client-4") {
+            let cur_served = leg_qps("served-multi-client-4");
+            let served_floor = 0.8 * base_served;
+            eprintln!(
+                "check: served-multi-client-4 {cur_served:.1} q/s vs baseline {base_served:.1} q/s \
+                 (floor {served_floor:.1})"
+            );
+            if cur_served < served_floor {
+                eprintln!("FAIL: served multi-client qps regressed more than 20% below baseline");
+                std::process::exit(1);
+            }
+        }
+        // The HTTP stack rides on sockets and scheduler behavior, so its
+        // gate is looser: half the baseline throughput.
+        if let Some(base_http) = scrape_qps(&baseline, "http-multi-4") {
+            let cur_http = leg_qps("http-multi-4");
+            let http_floor = 0.5 * base_http;
+            eprintln!(
+                "check: http-multi-4 {cur_http:.1} q/s vs baseline {base_http:.1} q/s \
+                 (floor {http_floor:.1})"
+            );
+            if cur_http < http_floor {
+                eprintln!("FAIL: http multi-connection qps regressed more than 50% below baseline");
+                std::process::exit(1);
+            }
         }
     }
 }

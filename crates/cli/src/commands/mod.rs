@@ -5,6 +5,7 @@ mod inspect;
 mod plan;
 mod query;
 mod sample;
+mod serve;
 mod stats;
 mod warehouse;
 
@@ -12,6 +13,7 @@ pub use inspect::inspect;
 pub use plan::plan;
 pub use query::query;
 pub use sample::sample;
+pub use serve::serve;
 pub use stats::stats;
 pub use warehouse::warehouse;
 
@@ -25,11 +27,12 @@ pub fn run(args: &Args) -> Result<String> {
         "plan" => plan(args),
         "query" => query(args),
         "sample" => sample(args),
+        "serve" => serve(args),
         "stats" => stats(args),
         "warehouse" => warehouse(args),
         "" | "help" => Ok(crate::USAGE.to_string()),
         other => Err(format!(
-            "unknown command `{other}` (inspect|plan|query|sample|stats|warehouse)\n\n{}",
+            "unknown command `{other}` (inspect|plan|query|sample|serve|stats|warehouse)\n\n{}",
             crate::USAGE
         )),
     }

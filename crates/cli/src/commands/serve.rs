@@ -1,0 +1,80 @@
+//! `serve`: put the concurrent HTTP/JSON front end in front of a
+//! synopsis (or a saved warehouse) and answer queries until interrupted.
+
+use std::sync::Arc;
+
+use aqua::{Aqua, AquaConfig, RecoveryPolicy, Warehouse};
+use congress::FsStore;
+use server::{QueryBackend, Server, ServerConfig};
+
+use crate::args::Args;
+use crate::data::{load, rewrite, strategy};
+use crate::{err, Result};
+
+/// Serve `POST /query`, `GET /stats`, `GET /metrics`, and `GET /healthz`
+/// over HTTP.
+///
+/// With `--csv`/`--demo` the backend is a single [`Aqua`] system (queries
+/// may omit `relation`); with `--dir` it is a recovered [`Warehouse`] and
+/// every query body must name its `relation`. The process serves until
+/// killed — use `--addr 127.0.0.1:0` to bind an ephemeral port (printed
+/// on startup).
+pub fn serve(args: &Args) -> Result<String> {
+    let backend: Arc<dyn QueryBackend> = if let Some(dir) = args.get("dir") {
+        let store = FsStore::open(dir).map_err(err)?;
+        let policy = if args.has("degrade") {
+            RecoveryPolicy::Degrade
+        } else {
+            RecoveryPolicy::Rebuild
+        };
+        let (warehouse, report) = Warehouse::open(&store, policy).map_err(err)?;
+        println!(
+            "warehouse: generation {}, relations: {}",
+            report.generation,
+            warehouse.relation_names().join(", ")
+        );
+        Arc::new(warehouse)
+    } else {
+        let source = load(args)?;
+        let space: usize = args.get_parsed("space", 0usize)?;
+        if space == 0 {
+            return Err("serve requires --space <tuples> (or --dir <DIR>)".into());
+        }
+        let config = AquaConfig {
+            space,
+            strategy: strategy(args)?,
+            rewrite: rewrite(args)?,
+            confidence: args.get_parsed("confidence", 0.9f64)?,
+            seed: args.get_parsed("seed", 0u64)?,
+            parallelism: args.get_parsed("parallelism", 0usize)?,
+        };
+        let table_rows = source.relation.row_count();
+        let aqua = Aqua::build(source.relation, source.grouping, config).map_err(err)?;
+        println!(
+            "synopsis: {} of {} rows, strategy {}, rewrite {} (table `{}`)",
+            aqua.synopsis_rows(),
+            table_rows,
+            config.strategy.name(),
+            config.rewrite.name(),
+            source.name
+        );
+        Arc::new(aqua)
+    };
+
+    let config = ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8600").to_string(),
+        workers: args.get_parsed("workers", 0usize)?,
+        queue_depth: args.get_parsed("queue-depth", 64usize)?,
+    };
+    let server = Server::bind(config, backend).map_err(|e| format!("cannot bind: {e}"))?;
+    let addr = server.local_addr();
+    println!("listening on http://{addr}");
+    println!("try: curl -s http://{addr}/query -d 'SELECT l_returnflag, SUM(l_quantity) AS q FROM lineitem GROUP BY l_returnflag'");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    // Serve forever; the Server owns its reactor and worker threads.
+    loop {
+        std::thread::park();
+    }
+}

@@ -42,6 +42,9 @@ COMMANDS:
   plan       Show the §4 allocation table for a space budget
   query      Answer a SQL query approximately (with exact comparison)
   sample     Draw a sample and write it as a binary snapshot
+  serve      HTTP/JSON front end: POST /query, GET /stats, /metrics,
+             /healthz; backend is a fresh synopsis (--csv/--demo) or a
+             recovered warehouse (--dir, queries must name `relation`)
   stats      Run a workload and print runtime metrics: query counts per
              rewrite/served path, latency p50/p95/p99, cache hit rates;
              with --dir, a saved warehouse's durability counters
@@ -73,6 +76,11 @@ COMMON OPTIONS:
   --json                  stats: JSON output
   --degrade               on corruption, serve exact scans instead of
                           rebuilding the synopsis (warehouse open/repair)
+  --addr <HOST:PORT>      serve: bind address (default 127.0.0.1:8600;
+                          port 0 picks an ephemeral port)
+  --workers <N>           serve: query worker threads, 0 = all cores
+  --queue-depth <N>       serve: jobs queued before /query sheds with 503
+                          (default 64)
 
 EXAMPLES:
   congress-cli plan --demo --space 1000
@@ -82,4 +90,5 @@ EXAMPLES:
   congress-cli warehouse save --demo --space 5000 --dir ./wh
   congress-cli warehouse verify --dir ./wh
   congress-cli warehouse open --dir ./wh
+  congress-cli serve --demo --space 5000 --addr 127.0.0.1:8600
 ";

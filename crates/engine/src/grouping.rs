@@ -46,6 +46,11 @@ pub struct GroupIndex {
     /// Group ids sorted by ascending key, computed once on first use so a
     /// memoized index lets repeat queries skip the per-result key sort.
     sorted_gids: std::sync::OnceLock<Vec<u32>>,
+    /// Key → group id, computed once on first use. Bounds computation maps
+    /// estimate keys back to census group ids on every query; memoizing
+    /// the reverse index here (the index is cached and shared) replaces a
+    /// per-query O(groups) HashMap build with a lookup.
+    key_to_gid: std::sync::OnceLock<HashMap<GroupKey, u32>>,
 }
 
 impl GroupIndex {
@@ -81,6 +86,7 @@ impl GroupIndex {
                 keys: vec![GroupKey::empty()],
                 first_rows: vec![first],
                 sorted_gids: std::sync::OnceLock::new(),
+                key_to_gid: std::sync::OnceLock::new(),
             };
         }
 
@@ -154,6 +160,7 @@ impl GroupIndex {
             keys,
             first_rows,
             sorted_gids: std::sync::OnceLock::new(),
+            key_to_gid: std::sync::OnceLock::new(),
         }
     }
 
@@ -281,6 +288,7 @@ impl GroupIndex {
             keys,
             first_rows,
             sorted_gids: std::sync::OnceLock::new(),
+            key_to_gid: std::sync::OnceLock::new(),
         }
     }
 
@@ -306,6 +314,20 @@ impl GroupIndex {
             gids.sort_unstable_by(|&a, &b| self.keys[a as usize].cmp(&self.keys[b as usize]));
             gids
         })
+    }
+
+    /// Group id of `key`, or `None` if the key names no group. The reverse
+    /// index is built once on first use and shared by every subsequent
+    /// lookup (bounds computation calls this per result group per query).
+    pub fn gid_of_key(&self, key: &GroupKey) -> Option<u32> {
+        let map = self.key_to_gid.get_or_init(|| {
+            self.keys
+                .iter()
+                .enumerate()
+                .map(|(gid, k)| (k.clone(), gid as u32))
+                .collect()
+        });
+        map.get(key).copied()
     }
 
     /// Group id of `row`, or `u32::MAX` if the row was masked out.

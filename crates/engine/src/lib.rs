@@ -25,6 +25,7 @@ pub mod error;
 pub mod exec;
 pub mod grouping;
 pub mod join;
+pub mod plan_cache;
 pub mod query;
 pub mod result;
 pub mod rewrite;
@@ -39,6 +40,7 @@ pub use cache::{
 pub use error::{EngineError, Result};
 pub use exec::execute_exact;
 pub use grouping::GroupIndex;
+pub use plan_cache::{CachedPlan, PlanCache, PlanCacheStats};
 pub use query::{GroupByQuery, Having};
 pub use result::QueryResult;
 pub use rewrite::{Integrated, KeyNormalized, NestedIntegrated, Normalized, SamplePlan};

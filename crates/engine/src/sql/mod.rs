@@ -13,12 +13,17 @@
 //! * [`render_rewritten`] — the paper's Figures 8–11: the rewritten SQL a
 //!   DBMS would execute against the sample relation for each of the four
 //!   rewrite strategies.
+//! * [`normalize`] — canonical text for plan-cache keying: case,
+//!   whitespace, and literal formatting folded so equivalent spellings of
+//!   a query share one cache entry.
 
 mod lexer;
+mod normalize;
 mod parser;
 pub mod render;
 
 pub use lexer::{tokenize, Token};
+pub use normalize::normalize;
 pub use parser::parse;
 pub use render::{render, render_rewritten, RewriteKind};
 

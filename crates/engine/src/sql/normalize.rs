@@ -1,0 +1,114 @@
+//! Canonicalization of SQL text for plan-cache keying.
+//!
+//! Two query strings that differ only in keyword/identifier case,
+//! whitespace, numeric-literal formatting (`1e2` vs `100`, `.25` vs
+//! `0.25`), `!=` vs `<>`, or a trailing `;` describe the same query; the
+//! serving layer should parse and plan it once. [`normalize`] maps every
+//! member of such an equivalence class to one canonical string, used both
+//! as the cache key *and* as the text that is actually parsed on a miss —
+//! keying and planning from the same canonical form is what makes the
+//! fold sound (there is no way for two spellings to share a key but
+//! resolve to different plans).
+//!
+//! Semantics note: identifier case-folding means output column aliases
+//! come back lowercased (`AS Rev` ≡ `AS rev`). Name resolution accepts
+//! any casing via [`Schema::column_id_ci`](relation::Schema::column_id_ci).
+
+use crate::error::Result;
+use crate::sql::lexer::{tokenize, Token};
+
+/// Canonicalize `text`: tokenize, fold case (keywords upper, identifiers
+/// lower), reformat numeric literals through `f64` Display, re-quote
+/// string literals, join with single spaces, and drop a trailing `;`.
+///
+/// Errors exactly when [`tokenize`] does, so unparseable garbage fails
+/// here rather than producing a junk cache key.
+///
+/// # Example
+///
+/// ```
+/// let a = engine::sql::normalize("Select  SUM(X) From t Where y <= 1e2;").unwrap();
+/// let b = engine::sql::normalize("select sum(x) from t where y<=100").unwrap();
+/// assert_eq!(a, b);
+/// ```
+pub fn normalize(text: &str) -> Result<String> {
+    let mut tokens = tokenize(text)?;
+    if matches!(tokens.last(), Some(Token::Symbol(";"))) {
+        tokens.pop();
+    }
+    let mut out = String::with_capacity(text.len());
+    for (i, tok) in tokens.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        match tok {
+            // The lexer already upper-cases keywords.
+            Token::Keyword(k) => out.push_str(k),
+            Token::Ident(s) => out.push_str(&s.to_ascii_lowercase()),
+            // f64 Display round-trips exactly and never uses scientific
+            // notation, giving one spelling per value.
+            Token::Number(v) => {
+                use std::fmt::Write;
+                let _ = write!(out, "{v}");
+            }
+            Token::Str(s) => {
+                out.push('\'');
+                for c in s.chars() {
+                    if c == '\'' {
+                        out.push('\'');
+                    }
+                    out.push(c);
+                }
+                out.push('\'');
+            }
+            Token::Symbol(s) => out.push_str(s),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_case_whitespace_and_literals() {
+        let variants = [
+            "SELECT state, SUM(income) FROM census WHERE age >= 25 GROUP BY state",
+            "select STATE,sum( INCOME )from census where AGE>=25.0 group by state;",
+            "select state , sum(income) \n from census where age >= 2.5e1 group by state",
+        ];
+        let keys: Vec<String> = variants.iter().map(|t| normalize(t).unwrap()).collect();
+        assert_eq!(keys[0], keys[1]);
+        assert_eq!(keys[0], keys[2]);
+        assert_eq!(
+            keys[0],
+            "SELECT state , SUM ( income ) FROM census WHERE age >= 25 GROUP BY state"
+        );
+    }
+
+    #[test]
+    fn ne_spellings_and_quotes_canonicalize() {
+        assert_eq!(
+            normalize("select count(*) from t where a != 'it''s'").unwrap(),
+            normalize("SELECT COUNT(*) FROM t WHERE a <> 'it''s'").unwrap()
+        );
+    }
+
+    #[test]
+    fn distinct_queries_stay_distinct() {
+        let a = normalize("select sum(x) from t where y = 1").unwrap();
+        let b = normalize("select sum(x) from t where y = 2").unwrap();
+        assert_ne!(a, b);
+        // String literal *content* case is preserved — 'A' ≠ 'a'.
+        let c = normalize("select count(*) from t where s = 'A'").unwrap();
+        let d = normalize("select count(*) from t where s = 'a'").unwrap();
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn tokenizer_errors_propagate() {
+        assert!(normalize("select @nope").is_err());
+        assert!(normalize("select 'open").is_err());
+    }
+}

@@ -123,8 +123,11 @@ impl<'a> Parser<'a> {
     }
 
     fn column(&mut self, name: &str) -> Result<ColumnId> {
+        // Case-insensitive, as SQL identifiers are: the plan cache keys on
+        // normalized text with identifier case folded, so resolution must
+        // accept any casing for the fold to be sound.
         self.schema
-            .column_id(name)
+            .column_id_ci(name)
             .map_err(|_| EngineError::Sql(format!("unknown column `{name}`")))
     }
 

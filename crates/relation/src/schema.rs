@@ -103,6 +103,35 @@ impl Schema {
         names.iter().map(|n| self.column_id(n)).collect()
     }
 
+    /// Look up a column id by name, falling back to an ASCII
+    /// case-insensitive match when no exact match exists.
+    ///
+    /// SQL identifiers are case-insensitive, and the serving layer's plan
+    /// cache folds identifier case when normalizing query text — so name
+    /// resolution must accept any casing or two spellings of the same query
+    /// would collide on one cache key while resolving differently. An exact
+    /// match always wins; a case-insensitive match must be unique or the
+    /// lookup fails rather than guessing.
+    pub fn column_id_ci(&self, name: &str) -> Result<ColumnId> {
+        if let Ok(id) = self.column_id(name) {
+            return Ok(id);
+        }
+        let mut found: Option<usize> = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.name.eq_ignore_ascii_case(name) {
+                if found.is_some() {
+                    return Err(RelationError::UnknownColumn(format!(
+                        "{name} (ambiguous case-insensitive match)"
+                    )));
+                }
+                found = Some(i);
+            }
+        }
+        found
+            .map(ColumnId)
+            .ok_or_else(|| RelationError::UnknownColumn(name.to_string()))
+    }
+
     /// Data type of the column at `id`.
     pub fn data_type(&self, id: ColumnId) -> Result<DataType> {
         Ok(self.field(id)?.data_type)
@@ -166,6 +195,26 @@ mod tests {
             s.field(ColumnId(9)),
             Err(RelationError::ColumnIdOutOfRange { id: 9, width: 3 })
         ));
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let s = abc();
+        assert_eq!(s.column_id_ci("B").unwrap(), ColumnId(1));
+        assert_eq!(s.column_id_ci("b").unwrap(), ColumnId(1));
+        assert!(s.column_id_ci("zz").is_err());
+
+        // Exact match wins over a case-folded one; ambiguity is an error.
+        let tricky = Schema::new(vec![
+            Field::new("X", DataType::Int),
+            Field::new("x", DataType::Str),
+            Field::new("Yy", DataType::Int),
+            Field::new("yY", DataType::Str),
+        ])
+        .unwrap();
+        assert_eq!(tricky.column_id_ci("x").unwrap(), ColumnId(1));
+        assert_eq!(tricky.column_id_ci("X").unwrap(), ColumnId(0));
+        assert!(tricky.column_id_ci("yy").is_err());
     }
 
     #[test]

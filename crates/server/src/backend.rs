@@ -1,0 +1,111 @@
+//! The serving abstraction the HTTP layer talks to.
+//!
+//! [`QueryBackend`] is the whole surface the reactor needs: answer SQL,
+//! snapshot metrics. [`Aqua`] (one relation) and [`Warehouse`] (many)
+//! implement it for production; tests implement it with mocks — a
+//! deliberately *blocking* backend is how the load-shed path is exercised
+//! without timing games.
+
+use std::sync::Arc;
+
+use aqua::{Aqua, AquaError, ServedAnswer, Warehouse};
+
+/// Why a query could not be answered, split by who is at fault: a
+/// [`BadRequest`](BackendError::BadRequest) maps to HTTP 4xx (malformed
+/// SQL, unknown relation/column), an [`Internal`](BackendError::Internal)
+/// to 500.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendError {
+    /// The request is at fault; the message is safe to echo to the client.
+    BadRequest(String),
+    /// The server is at fault.
+    Internal(String),
+}
+
+impl BackendError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            BackendError::BadRequest(_) => 400,
+            BackendError::Internal(_) => 500,
+        }
+    }
+
+    /// The client-visible message.
+    pub fn message(&self) -> &str {
+        match self {
+            BackendError::BadRequest(m) | BackendError::Internal(m) => m,
+        }
+    }
+}
+
+fn classify(e: AquaError) -> BackendError {
+    match e {
+        // Parse errors, unknown columns, unsupported shapes: the query is
+        // at fault.
+        AquaError::Engine(_) | AquaError::Relation(_) => BackendError::BadRequest(e.to_string()),
+        _ => BackendError::Internal(e.to_string()),
+    }
+}
+
+/// What the HTTP front end requires of a query answering system.
+pub trait QueryBackend: Send + Sync + 'static {
+    /// Answer `sql` against `relation` (`None` means the backend's
+    /// default). Runs on a worker thread; blocking here blocks one worker,
+    /// not the reactor.
+    fn answer_sql(
+        &self,
+        relation: Option<&str>,
+        sql: &str,
+    ) -> Result<Arc<ServedAnswer>, BackendError>;
+
+    /// Point-in-time metrics snapshot (rendered as JSON by `/stats` and
+    /// Prometheus text by `/metrics`).
+    fn stats(&self) -> obs::Snapshot;
+}
+
+impl QueryBackend for Aqua {
+    fn answer_sql(
+        &self,
+        relation: Option<&str>,
+        sql: &str,
+    ) -> Result<Arc<ServedAnswer>, BackendError> {
+        // A single-relation backend: any relation name is "the" relation.
+        let _ = relation;
+        self.answer_sql_shared(sql).map_err(classify)
+    }
+
+    fn stats(&self) -> obs::Snapshot {
+        self.stats()
+    }
+}
+
+impl QueryBackend for Warehouse {
+    fn answer_sql(
+        &self,
+        relation: Option<&str>,
+        sql: &str,
+    ) -> Result<Arc<ServedAnswer>, BackendError> {
+        let name = match relation {
+            Some(n) => n,
+            None => {
+                return Err(BackendError::BadRequest(
+                    "a warehouse backend requires a \"relation\" field".into(),
+                ))
+            }
+        };
+        Warehouse::answer_sql(self, name, sql).map_err(|e| match e {
+            // `Warehouse::serving` reports unknown relations as
+            // InvalidConfig — from the API's point of view that's the
+            // client's mistake.
+            AquaError::InvalidConfig(m) if m.starts_with("unknown relation") => {
+                BackendError::BadRequest(m)
+            }
+            other => classify(other),
+        })
+    }
+
+    fn stats(&self) -> obs::Snapshot {
+        self.stats()
+    }
+}

@@ -1,0 +1,285 @@
+//! Minimal HTTP/1.1 request parsing and response rendering.
+//!
+//! Just enough of RFC 7230 for a JSON query API: request line + headers +
+//! `Content-Length` bodies (no chunked encoding, no trailers), keep-alive
+//! by default with `Connection: close` honored both ways. Parsing is
+//! incremental — feed the connection's receive buffer and get either a
+//! complete request, "need more bytes", or a protocol error with the
+//! status code to answer before closing.
+
+use std::str;
+
+/// Cap on request head (request line + headers). Oversize heads get 431.
+pub const MAX_HEAD: usize = 16 * 1024;
+/// Cap on declared body length. Oversize bodies get 413.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed request. Header values the server cares about are extracted;
+/// everything else is skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), verbatim.
+    pub method: String,
+    /// Target path without the query string.
+    pub path: String,
+    /// Raw query string (no leading `?`), empty if absent.
+    pub query: String,
+    /// Request body (`Content-Length` bytes; empty without one).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+/// Outcome of a parse attempt over a (possibly partial) buffer.
+#[derive(Debug)]
+pub enum Parse {
+    /// A full request; `consumed` bytes of the buffer belong to it.
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the input buffer the request occupied.
+        consumed: usize,
+    },
+    /// Not enough bytes yet.
+    Partial,
+    /// Irrecoverable protocol error: answer with this status, then close.
+    Error {
+        /// HTTP status to answer with.
+        status: u16,
+        /// Human-readable cause, safe to echo in the error body.
+        reason: &'static str,
+    },
+}
+
+/// Try to parse one request from the front of `buf`.
+pub fn parse(buf: &[u8]) -> Parse {
+    let head_end = match find_head_end(buf) {
+        Some(i) => i,
+        None => {
+            if buf.len() > MAX_HEAD {
+                return Parse::Error {
+                    status: 431,
+                    reason: "request head too large",
+                };
+            }
+            return Parse::Partial;
+        }
+    };
+    if head_end > MAX_HEAD {
+        return Parse::Error {
+            status: 431,
+            reason: "request head too large",
+        };
+    }
+    let head = match str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => {
+            return Parse::Error {
+                status: 400,
+                reason: "request head is not UTF-8",
+            }
+        }
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if parts.next().is_none() && !m.is_empty() => (m, t, v),
+        _ => {
+            return Parse::Error {
+                status: 400,
+                reason: "malformed request line",
+            }
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Parse::Error {
+            status: 505,
+            reason: "unsupported HTTP version",
+        };
+    }
+
+    let mut content_length: usize = 0;
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Parse::Error {
+                status: 400,
+                reason: "malformed header line",
+            };
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            match value.parse::<usize>() {
+                Ok(n) => content_length = n,
+                Err(_) => {
+                    return Parse::Error {
+                        status: 400,
+                        reason: "bad Content-Length",
+                    }
+                }
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Parse::Error {
+                status: 501,
+                reason: "transfer encodings not supported",
+            };
+        }
+    }
+    if content_length > MAX_BODY {
+        return Parse::Error {
+            status: 413,
+            reason: "request body too large",
+        };
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Parse::Partial;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Parse::Complete {
+        request: Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: query.to_string(),
+            body: buf[body_start..body_start + content_length].to_vec(),
+            keep_alive,
+        },
+        consumed: body_start + content_length,
+    }
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Render a complete response with `Content-Length` and the connection
+/// disposition the server decided on.
+pub fn response(status: u16, content_type: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 128);
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            status,
+            status_text(status),
+            content_type,
+            body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_get_with_query_string() {
+        let raw = b"GET /stats?format=json HTTP/1.1\r\nHost: x\r\n\r\n";
+        match parse(raw) {
+            Parse::Complete { request, consumed } => {
+                assert_eq!(request.method, "GET");
+                assert_eq!(request.path, "/stats");
+                assert_eq!(request.query, "format=json");
+                assert!(request.body.is_empty());
+                assert!(request.keep_alive);
+                assert_eq!(consumed, raw.len());
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_post_body_and_pipelined_remainder() {
+        let raw = b"POST /query HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /";
+        match parse(raw) {
+            Parse::Complete { request, consumed } => {
+                assert_eq!(request.body, b"hello");
+                assert_eq!(consumed, raw.len() - 5);
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_until_body_arrives() {
+        let raw = b"POST /query HTTP/1.1\r\nContent-Length: 5\r\n\r\nhel";
+        assert!(matches!(parse(raw), Parse::Partial));
+    }
+
+    #[test]
+    fn connection_close_and_http10_default() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let Parse::Complete { request, .. } = parse(raw) else {
+            panic!()
+        };
+        assert!(!request.keep_alive);
+        let raw = b"GET / HTTP/1.0\r\n\r\n";
+        let Parse::Complete { request, .. } = parse(raw) else {
+            panic!()
+        };
+        assert!(!request.keep_alive);
+    }
+
+    #[test]
+    fn protocol_errors() {
+        assert!(matches!(
+            parse(b"BOGUS\r\n\r\n"),
+            Parse::Error { status: 400, .. }
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/2\r\n\r\n"),
+            Parse::Error { status: 505, .. }
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"),
+            Parse::Error { status: 413, .. }
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Parse::Error { status: 501, .. }
+        ));
+    }
+
+    #[test]
+    fn response_shape() {
+        let r = response(200, "application/json", b"{}", true);
+        let s = String::from_utf8(r).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 2\r\n"));
+        assert!(s.contains("Connection: keep-alive\r\n"));
+        assert!(s.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,723 @@
+#![warn(missing_docs)]
+
+//! Concurrent HTTP/JSON serving front end for the Aqua middleware.
+//!
+//! The serving story so far ends at a Rust API ([`aqua::Aqua::answer_sql`]);
+//! this crate puts a network in front of it without taking on an async
+//! runtime the build environment doesn't have. The shape is a classic
+//! reactor: **one epoll thread owns every socket** (accept, read, parse,
+//! write — nothing blocking), and a small **worker pool owns the query
+//! work** (the only part that can take milliseconds). The two sides meet
+//! at a bounded job queue going one way and a completion list + `eventfd`
+//! wakeup coming back.
+//!
+//! Three serving behaviors live here rather than in the middleware:
+//!
+//! - **Coalescing**: identical in-flight queries (same relation, same
+//!   *normalized* SQL — the plan cache's key) are answered once; every
+//!   waiting connection gets a copy of the one result. A thundering herd
+//!   of dashboards refreshing the same panel costs one execution.
+//! - **Admission control**: the job queue is bounded; a `/query` arriving
+//!   when it is full is answered `503` immediately instead of queueing
+//!   behind work the client will have timed out on anyway. Coalesced
+//!   followers ride the existing job and are never shed.
+//! - **Protocol hygiene**: HTTP/1.1 keep-alive, pipelining (one query in
+//!   flight per connection), malformed requests answered `4xx` and closed.
+//!
+//! Endpoints: `POST /query` (JSON `{"sql": ..., "relation": ...}` or a
+//! raw SQL body), `GET /stats` (JSON metrics snapshot, server + backend
+//! merged), `GET /metrics` (Prometheus text), `GET /healthz`.
+
+pub mod backend;
+pub mod http;
+pub mod json;
+pub mod sys;
+
+pub use backend::{BackendError, QueryBackend};
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::{io, thread};
+
+use sys::{Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8600` (port 0 picks an ephemeral
+    /// port — read it back from [`Server::local_addr`]).
+    pub addr: String,
+    /// Query worker threads; 0 means one per available core.
+    pub workers: usize,
+    /// Jobs the queue holds before `/query` starts answering 503.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// One queued query execution.
+struct Job {
+    key: QueryKey,
+}
+
+/// Coalescing key: target relation + normalized SQL. Unnormalizable SQL
+/// keys on its raw text — such queries still coalesce when byte-identical
+/// and all get the same 400.
+type QueryKey = (Option<String>, String);
+
+/// A connection waiting on a query result.
+struct Waiter {
+    fd: i32,
+    generation: u64,
+    keep_alive: bool,
+}
+
+/// A rendered response headed back to the reactor.
+struct Completion {
+    fd: i32,
+    generation: u64,
+    bytes: Vec<u8>,
+    close_after: bool,
+}
+
+/// State shared between the reactor, the workers, and [`Server`].
+struct Shared {
+    backend: Arc<dyn QueryBackend>,
+    registry: Arc<obs::Registry>,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    queue_depth: usize,
+    /// Singleflight table: key → connections waiting on the in-flight
+    /// execution. Presence of a key means a job is queued or running.
+    inflight: Mutex<HashMap<QueryKey, Vec<Waiter>>>,
+    completions: Mutex<Vec<Completion>>,
+    /// Wakes the reactor when completions are pushed or shutdown begins.
+    wakeup: EventFd,
+    shutdown: AtomicBool,
+    /// Serving-critical signals, always-on even under `obs-off` (the
+    /// concurrency suite synchronizes on them, and operators need them
+    /// regardless of the metrics feature) — same pattern as aqua's cache
+    /// counters. Folded into every snapshot via `set_counter`.
+    shed: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl Shared {
+    fn count(&self, name: &str, labels: &[(&str, &str)]) {
+        if obs::ENABLED {
+            self.registry.counter(&obs::label(name, labels)).inc();
+        }
+    }
+
+    /// The server-side snapshot: registry metrics plus the always-on
+    /// shed/coalesce counters and the live queue depth.
+    fn server_snapshot(&self) -> obs::Snapshot {
+        let mut snap = self.registry.snapshot();
+        snap.set_counter("server_shed_total", self.shed.load(Ordering::Relaxed));
+        snap.set_counter(
+            "server_coalesced_total",
+            self.coalesced.load(Ordering::Relaxed),
+        );
+        snap.set_gauge(
+            "server_queue_depth",
+            self.queue.lock().unwrap().len() as i64,
+        );
+        snap
+    }
+}
+
+/// A running server: reactor + workers bound to a local address. Dropping
+/// it (or calling [`Server::shutdown`]) stops every thread and closes
+/// every connection.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `backend` per `config`.
+    pub fn bind(config: ServerConfig, backend: Arc<dyn QueryBackend>) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            backend,
+            registry: Arc::new(obs::Registry::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_depth: config.queue_depth.max(1),
+            inflight: Mutex::new(HashMap::new()),
+            completions: Mutex::new(Vec::new()),
+            wakeup: EventFd::new()?,
+            shutdown: AtomicBool::new(false),
+            shed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        });
+
+        let worker_count = if config.workers == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.workers
+        };
+        let mut workers = Vec::with_capacity(worker_count);
+        for i in 0..worker_count {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("query-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+
+        let reactor_shared = Arc::clone(&shared);
+        let reactor = thread::Builder::new()
+            .name("reactor".into())
+            .spawn(move || {
+                if let Err(e) = reactor_loop(listener, &reactor_shared) {
+                    // Nothing to do but note it; bind errors already
+                    // surfaced synchronously.
+                    eprintln!("server reactor exited: {e}");
+                }
+            })?;
+
+        Ok(Server {
+            addr,
+            shared,
+            reactor: Some(reactor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server-side metrics registry (per-endpoint request counters,
+    /// connection counts) — also merged into `/stats` and `/metrics`
+    /// responses.
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.shared.registry
+    }
+
+    /// Snapshot of the server-side metrics: the registry plus the
+    /// always-on shed/coalesce counters and live queue depth, which are
+    /// meaningful on both obs feature legs.
+    pub fn snapshot(&self) -> obs::Snapshot {
+        self.shared.server_snapshot()
+    }
+
+    /// Stop accepting, close every connection, and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wakeup.notify();
+        self.shared.queue_cv.notify_all();
+        if let Some(r) = self.reactor.take() {
+            let _ = r.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.queue_cv.wait(queue).unwrap();
+            }
+        };
+        let (relation, sql) = (&job.key.0, &job.key.1);
+        let (status, body) = match shared.backend.answer_sql(relation.as_deref(), sql) {
+            Ok(served) => (200, json::render_answer(&served)),
+            Err(e) => (e.status(), json::render_error(e.message())),
+        };
+        let waiters = shared
+            .inflight
+            .lock()
+            .unwrap()
+            .remove(&job.key)
+            .unwrap_or_default();
+        let status_str = status.to_string();
+        {
+            let mut completions = shared.completions.lock().unwrap();
+            for w in &waiters {
+                completions.push(Completion {
+                    fd: w.fd,
+                    generation: w.generation,
+                    bytes: http::response(
+                        status,
+                        "application/json",
+                        body.as_bytes(),
+                        w.keep_alive,
+                    ),
+                    close_after: !w.keep_alive,
+                });
+            }
+        }
+        if obs::ENABLED {
+            for _ in &waiters {
+                shared.count(
+                    "server_requests_total",
+                    &[("endpoint", "/query"), ("status", &status_str)],
+                );
+            }
+        }
+        shared.wakeup.notify();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reactor side
+// ---------------------------------------------------------------------
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKEUP: u64 = u64::MAX - 1;
+
+struct Conn {
+    stream: TcpStream,
+    generation: u64,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// A `/query` is in flight; parsing is paused so responses stay in
+    /// request order.
+    busy: bool,
+    close_after_flush: bool,
+    /// Events currently registered with epoll.
+    interest: u32,
+}
+
+impl Conn {
+    fn pending_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+}
+
+struct Reactor<'a> {
+    epoll: Epoll,
+    listener: TcpListener,
+    shared: &'a Shared,
+    conns: HashMap<i32, Conn>,
+    next_generation: u64,
+}
+
+fn reactor_loop(listener: TcpListener, shared: &Shared) -> io::Result<()> {
+    let epoll = Epoll::new()?;
+    epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+    epoll.add(shared.wakeup.raw_fd(), EPOLLIN, TOKEN_WAKEUP)?;
+    let mut r = Reactor {
+        epoll,
+        listener,
+        shared,
+        conns: HashMap::new(),
+        next_generation: 0,
+    };
+    let mut events = [EpollEvent { events: 0, data: 0 }; 256];
+    loop {
+        let n = r.epoll.wait(&mut events, -1)?;
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        for ev in &events[..n] {
+            let token = ev.data;
+            let bits = ev.events;
+            match token {
+                TOKEN_LISTENER => r.accept_ready(),
+                TOKEN_WAKEUP => {
+                    shared.wakeup.drain();
+                    r.drain_completions();
+                }
+                fd => {
+                    let fd = fd as i32;
+                    if bits & (EPOLLERR | EPOLLHUP) != 0 {
+                        r.close(fd);
+                        continue;
+                    }
+                    if bits & (EPOLLIN | EPOLLRDHUP) != 0 {
+                        r.readable(fd);
+                    }
+                    if bits & EPOLLOUT != 0 {
+                        r.writable(fd);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Reactor<'_> {
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    let generation = self.next_generation;
+                    self.next_generation += 1;
+                    let interest = EPOLLIN | EPOLLRDHUP;
+                    if self.epoll.add(fd, interest, fd as u64).is_err() {
+                        continue;
+                    }
+                    self.conns.insert(
+                        fd,
+                        Conn {
+                            stream,
+                            generation,
+                            read_buf: Vec::new(),
+                            write_buf: Vec::new(),
+                            write_pos: 0,
+                            busy: false,
+                            close_after_flush: false,
+                            interest,
+                        },
+                    );
+                    if obs::ENABLED {
+                        self.shared
+                            .registry
+                            .counter("server_connections_total")
+                            .inc();
+                        self.shared
+                            .registry
+                            .gauge("server_connections_active")
+                            .add(1);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn close(&mut self, fd: i32) {
+        if let Some(conn) = self.conns.remove(&fd) {
+            let _ = self.epoll.delete(fd);
+            drop(conn); // closes the socket
+            if obs::ENABLED {
+                self.shared
+                    .registry
+                    .gauge("server_connections_active")
+                    .add(-1);
+            }
+        }
+    }
+
+    fn readable(&mut self, fd: i32) {
+        let mut should_close = false;
+        {
+            let Some(conn) = self.conns.get_mut(&fd) else {
+                return;
+            };
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        should_close = true;
+                        break;
+                    }
+                    Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        should_close = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if should_close {
+            self.close(fd);
+            return;
+        }
+        self.process_requests(fd);
+    }
+
+    /// Parse and dispatch as many complete requests as the ordering rule
+    /// allows (stop while a query response is pending).
+    fn process_requests(&mut self, fd: i32) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&fd) else {
+                return;
+            };
+            if conn.busy || conn.close_after_flush || conn.read_buf.is_empty() {
+                break;
+            }
+            match http::parse(&conn.read_buf) {
+                http::Parse::Complete { request, consumed } => {
+                    conn.read_buf.drain(..consumed);
+                    self.dispatch(fd, request);
+                }
+                http::Parse::Partial => break,
+                http::Parse::Error { status, reason } => {
+                    let body = json::render_error(reason);
+                    let resp = http::response(status, "application/json", body.as_bytes(), false);
+                    conn.read_buf.clear();
+                    conn.close_after_flush = true;
+                    self.shared.count(
+                        "server_requests_total",
+                        &[("endpoint", "malformed"), ("status", &status.to_string())],
+                    );
+                    self.enqueue_write(fd, &resp);
+                    break;
+                }
+            }
+        }
+        self.flush(fd);
+    }
+
+    fn dispatch(&mut self, fd: i32, request: http::Request) {
+        let endpoint = request.path.clone();
+        let (status, content_type, body) = match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => (200, "text/plain", "ok\n".to_string()),
+            ("GET", "/stats") => {
+                let mut snap = self.shared.backend.stats();
+                snap.merge(&self.shared.server_snapshot());
+                (200, "application/json", snap.to_json())
+            }
+            ("GET", "/metrics") => {
+                let mut snap = self.shared.backend.stats();
+                snap.merge(&self.shared.server_snapshot());
+                (200, "text/plain; version=0.0.4", snap.to_prometheus())
+            }
+            ("POST", "/query") => {
+                self.dispatch_query(fd, &request);
+                return;
+            }
+            ("GET", "/query") => (
+                405,
+                "application/json",
+                json::render_error("use POST for /query"),
+            ),
+            _ => (
+                404,
+                "application/json",
+                json::render_error("no such endpoint"),
+            ),
+        };
+        self.shared.count(
+            "server_requests_total",
+            &[("endpoint", &endpoint), ("status", &status.to_string())],
+        );
+        let resp = http::response(status, content_type, body.as_bytes(), request.keep_alive);
+        if !request.keep_alive {
+            if let Some(conn) = self.conns.get_mut(&fd) {
+                conn.close_after_flush = true;
+            }
+        }
+        self.enqueue_write(fd, &resp);
+    }
+
+    /// `/query`: extract SQL, coalesce with identical in-flight work or
+    /// enqueue a job, shedding when the queue is full.
+    fn dispatch_query(&mut self, fd: i32, request: &http::Request) {
+        let parsed = parse_query_body(&request.body);
+        let (relation, sql) = match parsed {
+            Ok(rs) => rs,
+            Err(msg) => {
+                self.shared.count(
+                    "server_requests_total",
+                    &[("endpoint", "/query"), ("status", "400")],
+                );
+                let body = json::render_error(&msg);
+                let resp =
+                    http::response(400, "application/json", body.as_bytes(), request.keep_alive);
+                self.enqueue_write(fd, &resp);
+                return;
+            }
+        };
+        // Coalescing key = the plan cache's key, so "identical" here means
+        // identical after case/whitespace/literal normalization.
+        let key: QueryKey = (relation, engine::sql::normalize(&sql).unwrap_or(sql));
+        let generation = match self.conns.get(&fd) {
+            Some(c) => c.generation,
+            None => return,
+        };
+        let waiter = Waiter {
+            fd,
+            generation,
+            keep_alive: request.keep_alive,
+        };
+        let mut inflight = self.shared.inflight.lock().unwrap();
+        if let Some(waiters) = inflight.get_mut(&key) {
+            waiters.push(waiter);
+            drop(inflight);
+            self.shared.coalesced.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let mut queue = self.shared.queue.lock().unwrap();
+            if queue.len() >= self.shared.queue_depth {
+                drop(queue);
+                drop(inflight);
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                self.shared.count(
+                    "server_requests_total",
+                    &[("endpoint", "/query"), ("status", "503")],
+                );
+                let body = json::render_error("server overloaded, retry later");
+                let resp =
+                    http::response(503, "application/json", body.as_bytes(), request.keep_alive);
+                self.enqueue_write(fd, &resp);
+                return;
+            }
+            inflight.insert(key.clone(), vec![waiter]);
+            queue.push_back(Job { key });
+            drop(queue);
+            drop(inflight);
+            self.shared.queue_cv.notify_one();
+        }
+        if let Some(conn) = self.conns.get_mut(&fd) {
+            conn.busy = true;
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        let completions = std::mem::take(&mut *self.shared.completions.lock().unwrap());
+        for c in completions {
+            let Some(conn) = self.conns.get_mut(&c.fd) else {
+                continue; // connection closed while the query ran
+            };
+            if conn.generation != c.generation {
+                continue; // fd reused by a newer connection
+            }
+            conn.busy = false;
+            if c.close_after {
+                conn.close_after_flush = true;
+            }
+            conn.write_buf.extend_from_slice(&c.bytes);
+            // The response is queued; pipelined requests may now proceed.
+            self.process_requests(c.fd);
+        }
+    }
+
+    fn enqueue_write(&mut self, fd: i32, bytes: &[u8]) {
+        if let Some(conn) = self.conns.get_mut(&fd) {
+            conn.write_buf.extend_from_slice(bytes);
+        }
+    }
+
+    fn writable(&mut self, fd: i32) {
+        self.flush(fd);
+    }
+
+    /// Write as much buffered response data as the socket accepts, then
+    /// reconcile epoll interest (EPOLLOUT iff bytes remain) and close if a
+    /// `Connection: close` response finished flushing.
+    fn flush(&mut self, fd: i32) {
+        let mut should_close = false;
+        {
+            let Some(conn) = self.conns.get_mut(&fd) else {
+                return;
+            };
+            while conn.pending_write() {
+                match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                    Ok(0) => {
+                        should_close = true;
+                        break;
+                    }
+                    Ok(n) => conn.write_pos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        should_close = true;
+                        break;
+                    }
+                }
+            }
+            if !should_close && !conn.pending_write() {
+                conn.write_buf.clear();
+                conn.write_pos = 0;
+                if conn.close_after_flush {
+                    should_close = true;
+                }
+            }
+            if !should_close {
+                let want = EPOLLIN | EPOLLRDHUP | if conn.pending_write() { EPOLLOUT } else { 0 };
+                if want != conn.interest {
+                    conn.interest = want;
+                    let _ = self.epoll.modify(fd, want, fd as u64);
+                }
+            }
+        }
+        if should_close {
+            self.close(fd);
+        }
+    }
+}
+
+/// Extract `(relation, sql)` from a `/query` body: either a flat JSON
+/// object with a required `sql` field and optional `relation`, or a raw
+/// SQL string.
+fn parse_query_body(body: &[u8]) -> Result<(Option<String>, String), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err("empty request body; send {\"sql\": \"...\"} or raw SQL".into());
+    }
+    if trimmed.starts_with('{') {
+        let mut fields = json::parse_flat_object(trimmed).map_err(|e| format!("bad JSON: {e}"))?;
+        let sql = fields
+            .remove("sql")
+            .ok_or_else(|| "missing \"sql\" field".to_string())?;
+        Ok((fields.remove("relation"), sql))
+    } else {
+        Ok((None, trimmed.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_body_forms() {
+        let (rel, sql) = parse_query_body(br#"{"sql": "SELECT 1", "relation": "census"}"#).unwrap();
+        assert_eq!(rel.as_deref(), Some("census"));
+        assert_eq!(sql, "SELECT 1");
+        let (rel, sql) = parse_query_body(b"SELECT state FROM census GROUP BY state").unwrap();
+        assert!(rel.is_none());
+        assert!(sql.starts_with("SELECT"));
+        assert!(parse_query_body(b"").is_err());
+        assert!(parse_query_body(br#"{"relation": "census"}"#).is_err());
+        assert!(parse_query_body(br#"{"sql": 1}"#).is_err());
+    }
+}
